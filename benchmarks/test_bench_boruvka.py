@@ -1,0 +1,43 @@
+"""E10 — Theorem 2.2/3.1: Boruvka forest in O(n log n) time, polylog congestion,
+and low awake time (the Thm 3.1 energy profile)."""
+
+from conftest import record_table, run_once
+from repro import graphs, build_maximal_forest
+from repro.analysis import fit_power_law
+from repro.core.boruvka import boruvka_round_bound
+from repro.sim import Metrics
+
+SIZES = [16, 32, 64, 128]
+
+
+def run_sweep():
+    rows, ns, rounds, congestion = [], [], [], []
+    for n in SIZES:
+        g = graphs.random_connected_graph(n, extra_edge_prob=4.0 / n, seed=n)
+        m = Metrics()
+        forest = build_maximal_forest(g, metrics=m)
+        forest.validate_against(g)
+        ns.append(n)
+        rounds.append(m.rounds)
+        congestion.append(m.max_congestion)
+        rows.append([n, m.rounds, boruvka_round_bound(n), m.max_congestion,
+                     m.max_energy, round(m.max_energy / m.rounds, 3)])
+    return rows, ns, rounds, congestion
+
+
+def test_e10_boruvka(benchmark):
+    rows, ns, rounds, congestion = run_once(benchmark, run_sweep)
+    fit_time = fit_power_law(ns, rounds)
+    fit_cong = fit_power_law(ns, congestion)
+    rows.append(["FIT", f"n^{fit_time.exponent:.2f}", "-", f"n^{fit_cong.exponent:.2f}", "-", "-"])
+    record_table(
+        "E10_boruvka",
+        "E10: Boruvka maximal forest — O(n log n) time, polylog congestion, low awake",
+        ["n", "rounds", "round bound", "congestion", "max energy", "awake frac"],
+        rows,
+    )
+    assert 0.8 < fit_time.exponent < 1.5, fit_time  # ~n log n
+    assert fit_cong.exponent < 0.6, fit_cong  # polylog
+    for row in rows[:-1]:
+        assert row[1] <= row[2], row  # within the schedule bound
+        assert row[5] < 0.5, row  # nodes sleep most of the time

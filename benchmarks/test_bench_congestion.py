@@ -1,0 +1,44 @@
+"""E3 — Theorem 2.6: per-edge congestion of CSSP stays polylog.
+
+The discriminating comparison: CSSP congestion vs Bellman-Ford congestion
+as n grows.  Bellman-Ford's grows linearly (each reached node re-sends
+every round); CSSP's must grow far slower (polylog, i.e. a small power at
+this scale).
+"""
+
+from conftest import record_table, run_once
+from repro import graphs, cssp, run_bellman_ford
+from repro.analysis import fit_power_law
+from repro.sim import Metrics
+
+SIZES = [16, 24, 32, 48, 64]
+
+
+def run_sweep():
+    rows, ns, ours, bfs = [], [], [], []
+    for n in SIZES:
+        g = graphs.random_weights(
+            graphs.random_connected_graph(n, extra_edge_prob=4.0 / n, seed=n), 9, seed=n
+        )
+        m_cssp, m_bf = Metrics(), Metrics()
+        cssp(g, {0: 0}, metrics=m_cssp)
+        run_bellman_ford(g, 0, metrics=m_bf)
+        ns.append(n)
+        ours.append(m_cssp.max_congestion)
+        bfs.append(m_bf.max_congestion)
+        rows.append([n, m_cssp.max_congestion, m_bf.max_congestion])
+    return rows, fit_power_law(ns, ours), fit_power_law(ns, bfs)
+
+
+def test_e3_congestion(benchmark):
+    rows, fit_ours, fit_bf = run_once(benchmark, run_sweep)
+    rows.append(["FIT", f"n^{fit_ours.exponent:.2f}", f"n^{fit_bf.exponent:.2f}"])
+    record_table(
+        "E3_congestion",
+        "E3: max per-edge messages — CSSP (polylog) vs Bellman-Ford (Theta(n))",
+        ["n", "cssp congestion", "bellman-ford congestion"],
+        rows,
+    )
+    # Bellman-Ford congestion grows essentially linearly; ours much slower.
+    assert fit_bf.exponent > 0.7, fit_bf
+    assert fit_ours.exponent < fit_bf.exponent - 0.25, (fit_ours, fit_bf)

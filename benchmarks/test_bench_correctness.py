@@ -1,0 +1,58 @@
+"""E1 — correctness table: every algorithm vs the Dijkstra oracle.
+
+The reproduction's "Table 1": exact-match rates for every shortest-path
+implementation in the library over a battery of graph families.  All
+entries must be 100%.
+"""
+
+from conftest import record_table, run_once
+from repro import graphs, sssp, run_bellman_ford, run_distributed_dijkstra
+from repro.energy import energy_cssp, low_energy_bfs_from_scratch
+
+
+FAMILIES = [
+    ("path", lambda: graphs.random_weights(graphs.path_graph(24), 9, seed=1)),
+    ("cycle", lambda: graphs.random_weights(graphs.cycle_graph(20), 9, seed=2)),
+    ("grid", lambda: graphs.random_weights(graphs.grid_graph(5, 5), 9, seed=3)),
+    ("tree", lambda: graphs.random_weights(graphs.random_tree(24, seed=4), 9, seed=4)),
+    ("er", lambda: graphs.random_weights(graphs.random_connected_graph(24, seed=5), 9, seed=5)),
+    ("zero-w", lambda: graphs.random_weights(graphs.random_connected_graph(20, seed=6), 5, seed=6, min_weight=0)),
+]
+
+
+def _match_rate(distances, reference):
+    hits = sum(1 for u in reference if distances[u] == reference[u])
+    return 100.0 * hits / len(reference)
+
+
+def run_sweep():
+    rows = []
+    for name, build in FAMILIES:
+        g = build()
+        ref = g.dijkstra([0])
+        row = [name, g.num_nodes]
+        row.append(_match_rate(sssp(g, 0).distances, ref))
+        row.append(_match_rate(run_bellman_ford(g, 0), ref))
+        row.append(_match_rate(run_distributed_dijkstra(g, 0), ref))
+        if name != "zero-w":
+            row.append(_match_rate(energy_cssp(g, {0: 0})[0], ref))
+            hop_ref = g.hop_distances([0])
+            row.append(_match_rate(low_energy_bfs_from_scratch(g, {0: 0})[0], hop_ref))
+        else:
+            row.extend(["n/a", "n/a"])
+        rows.append(row)
+    return rows
+
+
+def test_e1_correctness(benchmark):
+    rows = run_once(benchmark, run_sweep)
+    record_table(
+        "E1_correctness",
+        "E1: exact-match % vs Dijkstra oracle (all must be 100)",
+        ["family", "n", "cssp-sssp", "bellman-ford", "dijkstra", "energy-cssp", "energy-bfs"],
+        rows,
+    )
+    for row in rows:
+        for cell in row[2:]:
+            if cell != "n/a":
+                assert cell == 100.0, row

@@ -1,0 +1,52 @@
+"""E11 — Theorems 3.10/3.11: decomposition and sparse-cover quality.
+
+Measures, across n: cluster-membership per node (claim: O(log n)),
+max Steiner-tree load per edge (claim: polylog), cover stretch
+(tree radius / d), and construction cost.
+"""
+
+from conftest import record_table, run_once
+from repro import graphs
+from repro.analysis import fit_power_law
+from repro.energy.covers import build_sparse_cover
+from repro.sim import Metrics
+
+SIZES = [24, 48, 96, 160]
+D = 2
+
+
+def run_sweep():
+    rows, ns, memberships, loads = [], [], [], []
+    for n in SIZES:
+        g = graphs.random_connected_graph(n, extra_edge_prob=2.0 / n, seed=n)
+        m = Metrics()
+        cover = build_sparse_cover(g, D, stretch=3, metrics=m)
+        # Validate the ball property while we're here.
+        for v in list(g.nodes())[:10]:
+            ball = {u for u, dist in g.dijkstra([v]).items() if dist <= D}
+            assert ball <= cover.home[v].members
+        edge_load = max(cover.edge_tree_load().values(), default=0)
+        ns.append(n)
+        memberships.append(cover.max_membership())
+        loads.append(edge_load)
+        rows.append([n, len(cover.clusters), cover.max_membership(), edge_load,
+                     cover.max_tree_depth(), round(cover.max_tree_radius() / D, 1),
+                     m.rounds])
+    return rows, ns, memberships, loads
+
+
+def test_e11_cover_quality(benchmark):
+    rows, ns, memberships, loads = run_once(benchmark, run_sweep)
+    fit_mem = fit_power_law(ns, memberships)
+    fit_load = fit_power_law(ns, loads)
+    rows.append(["FIT", "-", f"n^{fit_mem.exponent:.2f}", f"n^{fit_load.exponent:.2f}",
+                 "-", "-", "-"])
+    record_table(
+        "E11_covers",
+        f"E11: sparse {D}-cover quality (membership O(log n), polylog edge load)",
+        ["n", "clusters", "max membership", "max edge load", "max tree depth",
+         "stretch", "construction rounds"],
+        rows,
+    )
+    assert fit_mem.exponent < 0.6, fit_mem
+    assert fit_load.exponent < 0.7, fit_load

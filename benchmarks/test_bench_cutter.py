@@ -1,0 +1,49 @@
+"""E9 — Lemma 2.1: cutter guarantees, time O(n/eps), congestion O(1)."""
+
+from conftest import record_table, run_once
+from repro import graphs, approx_cssp
+from repro.graphs import INFINITY
+from repro.sim import Metrics
+
+EPSILONS = [0.1, 0.25, 0.5, 0.9]
+
+
+def run_sweep():
+    n = 48
+    g = graphs.random_weights(graphs.random_connected_graph(n, seed=9), 50, seed=9)
+    truth = g.dijkstra([0])
+    bound = max(v for v in truth.values() if v != INFINITY)
+    rows = []
+    for eps in EPSILONS:
+        m = Metrics()
+        approx = approx_cssp(g, {0: 0}, eps, bound, metrics=m)
+        max_err = max(
+            approx[u] - truth[u]
+            for u in g.nodes()
+            if approx[u] != INFINITY and truth[u] != INFINITY
+        )
+        violations = sum(
+            1
+            for u in g.nodes()
+            if (approx[u] != INFINITY and not truth[u] <= approx[u] < truth[u] + eps * bound)
+            or (approx[u] == INFINITY and truth[u] <= 2 * bound)
+        )
+        rows.append([eps, m.rounds, m.max_congestion, max_err,
+                     round(eps * bound, 1), violations])
+    return rows
+
+
+def test_e9_cutter(benchmark):
+    rows = run_once(benchmark, run_sweep)
+    record_table(
+        "E9_cutter",
+        "E9: approximate cutter (Lemma 2.1) — error < eps*W, congestion O(1)",
+        ["eps", "rounds", "congestion", "max error", "eps*W budget", "violations"],
+        rows,
+    )
+    for row in rows:
+        assert row[2] <= 1, row  # one message per edge direction
+        assert row[3] < row[4] + 1e-9, row  # error within budget
+        assert row[5] == 0, row  # no guarantee violations
+    # Smaller eps costs more rounds (the O(n/eps) trade).
+    assert rows[0][1] >= rows[-1][1], rows

@@ -1,0 +1,45 @@
+"""E5 — Lemma 2.4: each node appears in O(log D) recursive subproblems.
+
+Sweeps the distance bound D (via max edge weight) at fixed topology and
+checks max per-node participation grows with log D, not with D.
+"""
+
+import math
+
+from conftest import record_table, run_once
+from repro import graphs, cssp
+from repro.analysis import linear_regression
+from repro.core.cssp import distance_upper_bound
+from repro.sim import Metrics
+
+WEIGHTS = [1, 4, 16, 64, 256]
+
+
+def run_sweep():
+    rows, log_ds, parts = [], [], []
+    for w in WEIGHTS:
+        g = graphs.random_weights(graphs.random_connected_graph(32, seed=3), w, seed=w)
+        m = Metrics()
+        cssp(g, {0: 0}, metrics=m)
+        log_d = math.log2(distance_upper_bound(g))
+        log_ds.append(log_d)
+        parts.append(m.max_participation)
+        rows.append([w, int(distance_upper_bound(g)), round(log_d, 1), m.max_participation,
+                     round(m.max_participation / log_d, 2)])
+    return rows, log_ds, parts
+
+
+def test_e5_participation_logarithmic_in_d(benchmark):
+    rows, log_ds, parts = run_once(benchmark, run_sweep)
+    _, slope, r2 = linear_regression(log_ds, [float(p) for p in parts])
+    rows.append(["FIT", "-", "-", f"{slope:.2f}/logD", f"r2={r2:.3f}"])
+    record_table(
+        "E5_recursion",
+        "E5: max subproblem participation vs log D (Lemma 2.4: O(log D))",
+        ["maxW", "D bound", "log2 D", "max participation", "participation/logD"],
+        rows,
+    )
+    # Participation per unit of log D must stay within a constant band.
+    ratios = [p / l for p, l in zip(parts, log_ds)]
+    assert max(ratios) < 4.0, ratios
+    assert max(ratios) / min(ratios) < 2.5, ratios

@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Baseline showdown: why the classic approaches lose (Section 1.1).
+
+Runs the same SSSP instance through three algorithms:
+
+* distributed Bellman-Ford — optimal O(n) time but Theta(mn) messages and
+  Theta(n) congestion (every reached node re-broadcasts every round);
+* naive distributed Dijkstra — each iteration finds the global minimum via
+  a convergecast, paying O(nD) time and Theta(n) congestion at the root;
+* the paper's recursive CSSP-based SSSP — ~O(n) time, ~O(m) messages,
+  polylog congestion, which is what makes n concurrent instances (APSP)
+  possible.
+
+Run:  python examples/baseline_showdown.py
+"""
+
+from repro import graphs, run_bellman_ford, run_distributed_dijkstra, sssp
+from repro.analysis import render_table
+from repro.sim import Metrics
+
+
+def main() -> None:
+    g = graphs.random_weights(
+        graphs.random_connected_graph(48, extra_edge_prob=0.1, seed=3),
+        max_weight=50, seed=4,
+    )
+    print(f"instance: n={g.num_nodes}, m={g.num_edges}")
+    oracle = g.dijkstra([0])
+
+    rows = []
+    result = sssp(g, 0)
+    assert result.distances == oracle
+    rows.append(["cssp-sssp (paper)", result.rounds, result.messages,
+                 result.congestion])
+
+    m = Metrics()
+    assert run_bellman_ford(g, 0, metrics=m) == oracle
+    rows.append(["bellman-ford (naive)", m.rounds, m.total_messages, m.max_congestion])
+
+    m = Metrics()
+    assert run_bellman_ford(g, 0, send_on_change=True, metrics=Metrics()) == oracle
+    m = Metrics()
+    assert run_distributed_dijkstra(g, 0, metrics=m) == oracle
+    rows.append(["distributed dijkstra", m.rounds, m.total_messages, m.max_congestion])
+
+    print()
+    print(render_table(
+        "SSSP head-to-head (all exact; shapes match Section 1.1's analysis)",
+        ["algorithm", "rounds", "messages", "max congestion"],
+        rows,
+    ))
+    print()
+    print("Reading: at one fixed size the recursion's polylog constants can")
+    print("still exceed Bellman-Ford's congestion — the claims are about")
+    print("*growth*. Bellman-Ford's congestion column scales exactly with n")
+    print("(so n concurrent instances for APSP would need Theta(n) bandwidth")
+    print("per edge), Dijkstra's rounds scale with n*D, while the paper's")
+    print("algorithm keeps congestion polylog in n. See benchmark E3/E8 for")
+    print("the fitted exponents (n^1.0 for Bellman-Ford vs ~n^0.5 for ours).")
+
+
+if __name__ == "__main__":
+    main()

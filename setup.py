@@ -1,0 +1,6 @@
+"""Legacy shim: lets `pip install -e . --no-build-isolation` work in
+environments without the `wheel` package (offline editable install)."""
+
+from setuptools import setup
+
+setup()

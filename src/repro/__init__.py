@@ -1,0 +1,69 @@
+"""repro — reproduction of Ghaffari & Trygub (PODC 2024).
+
+"A Near-Optimal Low-Energy Deterministic Distributed SSSP with Ramifications
+on Congestion and APSP" — a full implementation of the paper's algorithms on
+a round-accurate simulator of the synchronous CONGEST model and its sleeping
+(energy) variant, with the baselines it compares against.
+
+Quickstart::
+
+    from repro import graphs, sssp
+
+    g = graphs.random_connected_graph(64, seed=1)
+    g = graphs.random_weights(g, max_weight=100, seed=2)
+    result = sssp(g, source=0)
+    print(result.distances[63], result.rounds, result.congestion)
+
+Public surface:
+
+* :mod:`repro.graphs` — weighted graphs, generators, IO;
+* :mod:`repro.sim` — the CONGEST / sleeping-model simulator and metrics;
+* :mod:`repro.core` — BFS, the approximate cutter, Boruvka, the recursive
+  CSSP (Theorem 2.6/2.7), SSSP, and the random-delay APSP;
+* :mod:`repro.baselines` — distributed Bellman-Ford and naive Dijkstra;
+* :mod:`repro.energy` — sparse covers, network decomposition, the
+  low-energy BFS/CSSP of Section 3 (Theorems 3.8-3.15);
+* :mod:`repro.analysis` — scaling fits and experiment tables.
+"""
+
+from . import graphs
+from .graphs import Graph, INFINITY
+from .sim import Metrics, Mode
+from .core import (
+    APSPResult,
+    SSSPResult,
+    apsp,
+    approx_cssp,
+    build_maximal_forest,
+    cssp,
+    run_bfs,
+    run_weighted_bfs,
+    sssp,
+    sssp_distances,
+    thresholded_cssp,
+)
+from .baselines import run_bellman_ford, run_distributed_dijkstra
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "graphs",
+    "Graph",
+    "INFINITY",
+    "Metrics",
+    "Mode",
+    "APSPResult",
+    "SSSPResult",
+    "apsp",
+    "approx_cssp",
+    "build_maximal_forest",
+    "cssp",
+    "run_bfs",
+    "run_weighted_bfs",
+    "sssp",
+    "sssp_distances",
+    "thresholded_cssp",
+    "run_bellman_ford",
+    "run_distributed_dijkstra",
+    "__version__",
+]

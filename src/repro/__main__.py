@@ -1,0 +1,90 @@
+"""Command-line entry point: ``python -m repro <command>``.
+
+Commands
+--------
+``info``
+    Print the library version and the implemented system inventory.
+``demo [n]``
+    Run a quick SSSP demo on a random weighted graph of ~n nodes (default
+    48) and print the complexity metrics.
+``report [results_dir] [output]``
+    Compile the recorded benchmark tables into one Markdown report
+    (defaults: ``benchmarks/results`` -> stdout).
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+
+def _cmd_info() -> int:
+    import repro
+
+    print(f"repro {repro.__version__} — reproduction of Ghaffari & Trygub, PODC 2024")
+    print("\nImplemented systems:")
+    systems = [
+        ("repro.sim", "CONGEST + sleeping-model simulator with full metering"),
+        ("repro.core.bfs", "thresholded weighted BFS (multi-source, offsets)"),
+        ("repro.core.cutter", "approximate cutter (Lemma 2.1)"),
+        ("repro.core.boruvka", "distributed maximal spanning forest (Thm 2.2)"),
+        ("repro.core.cssp", "recursive D-thresholded CSSP (Thms 2.6/2.7)"),
+        ("repro.core.sssp / apsp", "SSSP API + random-delay APSP"),
+        ("repro.core.paths", "routing trees + distributed verification"),
+        ("repro.baselines", "Bellman-Ford and naive distributed Dijkstra"),
+        ("repro.energy.decomposition", "k-separated decomposition (Thm 3.10)"),
+        ("repro.energy.covers", "sparse + layered covers (Thm 3.11, Def 3.4)"),
+        ("repro.energy.low_energy_bfs", "sleeping-model BFS (Thm 3.8)"),
+        ("repro.energy.bootstrap", "from-scratch BFS + energy CSSP (Thms 3.13-3.15)"),
+    ]
+    for module, description in systems:
+        print(f"  {module:32s} {description}")
+    return 0
+
+
+def _cmd_demo(argv: list[str]) -> int:
+    from repro import graphs, sssp
+
+    n = int(argv[0]) if argv else 48
+    g = graphs.random_connected_graph(n, seed=1)
+    g = graphs.random_weights(g, max_weight=50, seed=2)
+    print(f"graph: n={g.num_nodes} m={g.num_edges} maxW={g.max_weight()}")
+    result = sssp(g, 0)
+    exact = result.distances == g.dijkstra([0])
+    print(f"exact vs oracle: {exact}")
+    for key, value in result.metrics.summary().items():
+        print(f"  {key:20s} {value}")
+    return 0 if exact else 1
+
+
+def _cmd_report(argv: list[str]) -> int:
+    from repro.analysis.report import compile_report
+
+    results = Path(argv[0]) if argv else Path("benchmarks/results")
+    text = compile_report(results)
+    if len(argv) > 1:
+        Path(argv[1]).write_text(text)
+        print(f"wrote {argv[1]}")
+    else:
+        print(text)
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if not argv or argv[0] in ("-h", "--help"):
+        print(__doc__)
+        return 0
+    command, rest = argv[0], argv[1:]
+    if command == "info":
+        return _cmd_info()
+    if command == "demo":
+        return _cmd_demo(rest)
+    if command == "report":
+        return _cmd_report(rest)
+    print(f"unknown command {command!r}; try: info, demo, report", file=sys.stderr)
+    return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

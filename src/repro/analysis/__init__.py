@@ -1,0 +1,13 @@
+"""Analysis toolkit: scaling-law fits and experiment table rendering."""
+
+from .fits import PowerFit, compare_models, fit_polylog, fit_power_law, linear_regression
+from .tables import render_table
+
+__all__ = [
+    "PowerFit",
+    "compare_models",
+    "fit_polylog",
+    "fit_power_law",
+    "linear_regression",
+    "render_table",
+]

@@ -1,0 +1,86 @@
+"""Scaling-law fitting for the experiments.
+
+The paper's claims are asymptotic (``~O(n)`` time, polylog congestion and
+energy).  The experiments validate them by sweeping a size parameter and
+fitting two rival models to each measured series:
+
+* power law      ``y = a * x^b``          (log-log linear regression);
+* polylog        ``y = a * (log2 x)^c``   (log vs log-log regression).
+
+A near-linear claim passes when the power-law exponent ``b`` is close to 1;
+a polylog claim passes when the polylog model fits at least as well as the
+power law *or* the power-law exponent is small (the honest criterion at
+simulation scale, where a polylog curve looks like a tiny power).  All
+fitting is plain least squares on transformed coordinates — no scipy needed
+— with ``r2`` reported so EXPERIMENTS.md can show goodness of fit.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["PowerFit", "fit_power_law", "fit_polylog", "compare_models", "linear_regression"]
+
+
+def linear_regression(xs: list[float], ys: list[float]) -> tuple[float, float, float]:
+    """Least-squares ``y = a + b x``; returns ``(a, b, r2)``."""
+    n = len(xs)
+    if n < 2:
+        raise ValueError("need at least two points to fit")
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    sxx = sum((x - mean_x) ** 2 for x in xs)
+    sxy = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    if sxx == 0:
+        raise ValueError("degenerate x values")
+    slope = sxy / sxx
+    intercept = mean_y - slope * mean_x
+    ss_res = sum((y - (intercept + slope * x)) ** 2 for x, y in zip(xs, ys))
+    ss_tot = sum((y - mean_y) ** 2 for y in ys)
+    r2 = 1.0 if ss_tot == 0 else 1.0 - ss_res / ss_tot
+    return intercept, slope, r2
+
+
+@dataclass
+class PowerFit:
+    """``y = coefficient * x^exponent`` with the regression's ``r2``."""
+
+    coefficient: float
+    exponent: float
+    r2: float
+
+    def predict(self, x: float) -> float:
+        return self.coefficient * x**self.exponent
+
+
+def fit_power_law(xs: list[float], ys: list[float]) -> PowerFit:
+    """Fit ``y = a x^b`` by regression in log-log space (positive data)."""
+    lx = [math.log(x) for x in xs]
+    ly = [math.log(max(y, 1e-12)) for y in ys]
+    intercept, slope, r2 = linear_regression(lx, ly)
+    return PowerFit(coefficient=math.exp(intercept), exponent=slope, r2=r2)
+
+
+def fit_polylog(xs: list[float], ys: list[float]) -> PowerFit:
+    """Fit ``y = a (log2 x)^c``: a power law in ``log2 x``."""
+    lx = [math.log(max(math.log2(x), 1e-12)) for x in xs]
+    ly = [math.log(max(y, 1e-12)) for y in ys]
+    intercept, slope, r2 = linear_regression(lx, ly)
+    return PowerFit(coefficient=math.exp(intercept), exponent=slope, r2=r2)
+
+
+def compare_models(xs: list[float], ys: list[float]) -> dict:
+    """Fit both models; report which explains the series better.
+
+    ``verdict`` is "polylog" when the polylog model's r2 is at least as
+    good, or when the fitted power exponent is below 0.5 (sub-square-root
+    growth — at experiment scale a polylog masquerades as a small power).
+    """
+    power = fit_power_law(xs, ys)
+    polylog = fit_polylog(xs, ys)
+    if polylog.r2 >= power.r2 - 1e-9 or power.exponent < 0.5:
+        verdict = "polylog"
+    else:
+        verdict = "power"
+    return {"power": power, "polylog": polylog, "verdict": verdict}

@@ -1,0 +1,35 @@
+"""Plain-text table rendering for benchmark output.
+
+The benchmark harness prints, for every experiment, the same kind of rows
+the paper's evaluation section would contain.  This keeps the output
+greppable from ``pytest benchmarks/ --benchmark-only`` logs and pastes
+directly into EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+__all__ = ["render_table"]
+
+
+def render_table(title: str, headers: list[str], rows: list[list]) -> str:
+    """Render an aligned monospace table with a title banner."""
+    str_rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    sep = "-+-".join("-" * w for w in widths)
+    lines = [f"== {title} =="]
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in str_rows:
+        lines.append(" | ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        if cell == float("inf"):
+            return "inf"
+        return f"{cell:.3g}"
+    return str(cell)

@@ -1,0 +1,6 @@
+"""Baseline distributed SSSP algorithms the paper compares against."""
+
+from .bellman_ford import BellmanFordNode, run_bellman_ford
+from .dijkstra import run_distributed_dijkstra
+
+__all__ = ["BellmanFordNode", "run_bellman_ford", "run_distributed_dijkstra"]

@@ -1,0 +1,71 @@
+"""Distributed Bellman-Ford — the classic baseline the paper argues against.
+
+Section 1.1: "a major drawback is that this algorithm relaxes each edge in
+each round, and thus has message complexity ``Theta(mn)`` and ``Omega(n)``
+congestion".  We implement exactly that naive variant (every node re-sends
+its estimate to every neighbor every round for ``n`` rounds), plus the folk
+*send-on-change* optimization as an ablation, so experiment E8 can show both
+the time optimality (``O(n)`` rounds) and the congestion blow-up that makes
+concurrent instances (APSP) infeasible.
+"""
+
+from __future__ import annotations
+
+from ..graphs import Graph, INFINITY
+from ..sim import Context, Metrics, Mode, NodeAlgorithm, Runner
+
+__all__ = ["BellmanFordNode", "run_bellman_ford"]
+
+
+class BellmanFordNode(NodeAlgorithm):
+    """One node's Bellman-Ford role: relax every incident edge every round."""
+
+    def __init__(
+        self, node: object, is_source: bool, horizon: int, *, send_on_change: bool
+    ) -> None:
+        self.node = node
+        self.dist: float = 0 if is_source else INFINITY
+        self.horizon = horizon
+        self.send_on_change = send_on_change
+        self._changed = True  # sources must announce in round 0
+
+    def on_round(self, ctx: Context, inbox: list[tuple[object, object]]) -> None:
+        for sender, estimate in inbox:
+            candidate = estimate + ctx.weight(sender)
+            if candidate < self.dist:
+                self.dist = candidate
+                self._changed = True
+        if ctx.round >= self.horizon:
+            ctx.halt()
+            return
+        should_send = self.dist != INFINITY and (self._changed or not self.send_on_change)
+        if should_send:
+            ctx.broadcast(self.dist)
+            self._changed = False
+        if self.send_on_change and not should_send:
+            # Optimized variant: sleep until something arrives or the end.
+            ctx.wake_at(self.horizon)
+
+
+def run_bellman_ford(
+    graph: Graph,
+    source: object,
+    *,
+    metrics: Metrics | None = None,
+    send_on_change: bool = False,
+) -> dict:
+    """Distances from ``source`` by distributed Bellman-Ford.
+
+    ``send_on_change=False`` is the paper's ``Theta(mn)``-message baseline;
+    ``True`` is the folk optimization (same worst case, better in practice).
+    The horizon is ``n`` rounds — enough for any shortest path (at most
+    ``n - 1`` edges), and all nodes know ``n``.
+    """
+    horizon = graph.num_nodes
+    algorithms = {
+        u: BellmanFordNode(u, u == source, horizon, send_on_change=send_on_change)
+        for u in graph.nodes()
+    }
+    runner = Runner(graph, algorithms, Mode.CONGEST, metrics=metrics)
+    runner.run()
+    return {u: algorithms[u].dist for u in graph.nodes()}

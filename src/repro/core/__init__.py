@@ -1,0 +1,57 @@
+"""The paper's Section 1-2 algorithms: BFS, cutter, Boruvka, CSSP, SSSP, APSP."""
+
+from .bfs import WeightedBFS, run_bfs, run_weighted_bfs
+from .boruvka import (
+    BoruvkaNode,
+    boruvka_phase_count,
+    boruvka_round_bound,
+    build_maximal_forest,
+)
+from .cutter import approx_cssp, cutter_quantum
+from .cssp import cssp, distance_upper_bound, thresholded_cssp
+from .sssp import SSSPResult, sssp, sssp_distances
+from .apsp import APSPResult, ScheduleReport, apsp, schedule_with_random_delays
+from .paths import (
+    RoutingTree,
+    VerificationReport,
+    build_shortest_path_tree,
+    extract_path,
+    verify_distances,
+)
+from .trees import (
+    ConvergecastBroadcast,
+    RootedForest,
+    bfs_forest,
+    run_convergecast_broadcast,
+)
+
+__all__ = [
+    "RoutingTree",
+    "VerificationReport",
+    "build_shortest_path_tree",
+    "extract_path",
+    "verify_distances",
+    "WeightedBFS",
+    "run_bfs",
+    "run_weighted_bfs",
+    "BoruvkaNode",
+    "boruvka_phase_count",
+    "boruvka_round_bound",
+    "build_maximal_forest",
+    "approx_cssp",
+    "cutter_quantum",
+    "cssp",
+    "distance_upper_bound",
+    "thresholded_cssp",
+    "SSSPResult",
+    "sssp",
+    "sssp_distances",
+    "APSPResult",
+    "ScheduleReport",
+    "apsp",
+    "schedule_with_random_delays",
+    "ConvergecastBroadcast",
+    "RootedForest",
+    "bfs_forest",
+    "run_convergecast_broadcast",
+]

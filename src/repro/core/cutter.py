@@ -1,0 +1,81 @@
+"""The approximate cutter: Lemma 2.1's rounding-based CSSP approximation.
+
+The paper cannot afford an exact cutter (that is the whole point of
+Section 2.2 vs 2.3), so it uses Nanongkai's rounding trick: scale every
+weight down by a quantum ``q``, round up, and run one thresholded weighted
+BFS in the rounded graph.  With ``q = max(1, floor(eps * W / n))``:
+
+* rounding up never shortens a path, so ``q * dist_rounded >= dist``;
+* a shortest path has at most ``n - 1`` edges and each edge gains less than
+  ``q``, so ``q * dist_rounded < dist + n * q <= dist + eps * W`` (and when
+  ``eps * W < n`` the quantum is 1 and the computation is exact);
+* running the rounded BFS to threshold ``ceil(2W / q) + n`` costs
+  ``O(W/q + n) = O(n / eps)`` rounds and ``O(1)`` congestion per edge.
+
+The exported guarantee matches Lemma 2.1 verbatim:
+
+* finite output   => ``dist(S, v) <= dist'(S, v) < dist(S, v) + eps * W``;
+* infinite output => ``dist(S, v) > 2 * W``.
+
+Source *offsets* (the imaginary-cut-node distances of the CSSP recursion)
+are rounded up with the same quantum; they contribute at most one more ``q``
+of error, absorbed by using ``n`` = true node count + 1 in the quantum.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..graphs import Graph, INFINITY
+from ..sim import Metrics
+from .bfs import run_weighted_bfs
+
+__all__ = ["approx_cssp", "cutter_quantum"]
+
+
+def cutter_quantum(num_nodes: int, eps: float, bound: int) -> int:
+    """The rounding quantum ``q = max(1, floor(eps * W / (n + 1)))``."""
+    return max(1, math.floor(eps * bound / (num_nodes + 1)))
+
+
+def approx_cssp(
+    graph: Graph,
+    sources: dict,
+    eps: float,
+    bound: int,
+    *,
+    metrics: Metrics | None = None,
+) -> dict:
+    """Approximate closest-source distances per Lemma 2.1.
+
+    Parameters
+    ----------
+    graph:
+        Positive integer weights (zero-weight edges are contracted one level
+        up, per Theorem 2.7).
+    sources:
+        Mapping source -> nonnegative integer offset.
+    eps:
+        Relative additive error knob, in ``(0, 1)``.
+    bound:
+        The lemma's ``W``: outputs are reliable for distances up to ``2W``.
+
+    Returns node -> approximate distance ``dist'`` (float ``INFINITY`` when
+    the true distance exceeds ``2W``... or merely exceeds the scan horizon).
+    """
+    if not 0 < eps < 1:
+        raise ValueError(f"eps must be in (0, 1), got {eps}")
+    if bound <= 0:
+        raise ValueError(f"bound W must be positive, got {bound}")
+    if not sources:
+        return {u: INFINITY for u in graph.nodes()}
+
+    n = graph.num_nodes
+    q = cutter_quantum(n, eps, bound)
+    rounded = graph.reweighted(lambda w: -(-w // q))  # ceil division
+    rounded_sources = {s: -(-offset // q) for s, offset in sources.items()}
+    threshold = -(-2 * bound // q) + n + 1
+    rounded_dist = run_weighted_bfs(rounded, rounded_sources, threshold, metrics=metrics)
+    return {
+        u: (INFINITY if d == INFINITY else q * d) for u, d in rounded_dist.items()
+    }

@@ -1,0 +1,195 @@
+"""Routing on top of distances: tree extraction, paths, and verification.
+
+The CSSP recursion computes *distances*; routing needs *predecessors*.  In
+the CONGEST model these are one round away: every node tells its neighbors
+its distance, and each node picks a neighbor ``u`` with
+``dist(v) == dist(u) + w(u, v)`` as its parent toward the sources.  That
+exchange doubles as a *distributed verifier*: the distances are exactly
+the closest-source distances iff
+
+* every source ``s`` has ``dist(s) <= offset(s)`` and every node is
+  "supported" (a source achieving its offset, or some neighbor with
+  ``dist(u) + w = dist(v)``), and
+* no edge is "tense" (``dist(v) > dist(u) + w(u, v)``).
+
+Both directions are checked locally per node, so the verification is a
+genuine self-check a deployment could run — and the test suite uses it as
+an oracle-free cross-check of every algorithm in the library.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..graphs import Graph, INFINITY
+from ..sim import Context, Metrics, Mode, NodeAlgorithm, Runner
+from .trees import RootedForest
+
+__all__ = [
+    "RoutingTree",
+    "build_shortest_path_tree",
+    "extract_path",
+    "verify_distances",
+    "VerificationReport",
+]
+
+
+class _DistanceExchange(NodeAlgorithm):
+    """One-round exchange of distance values with all neighbors."""
+
+    def __init__(self, node: object, dist: float) -> None:
+        self.node = node
+        self.dist = dist
+        self.neighbor_dist: dict = {}
+
+    def on_round(self, ctx: Context, inbox: list[tuple[object, object]]) -> None:
+        for sender, d in inbox:
+            self.neighbor_dist[sender] = d
+        if ctx.round == 0:
+            if self.dist != INFINITY:
+                ctx.broadcast(self.dist)
+            ctx.wake_at(1)
+            return
+        ctx.halt()
+
+
+def _exchange(graph: Graph, distances: dict, metrics: Metrics | None) -> dict:
+    algorithms = {u: _DistanceExchange(u, distances[u]) for u in graph.nodes()}
+    Runner(graph, algorithms, Mode.CONGEST, metrics=metrics).run()
+    return {u: algorithms[u].neighbor_dist for u in graph.nodes()}
+
+
+@dataclass
+class RoutingTree:
+    """A shortest-path forest: parent pointers toward the closest source."""
+
+    parent: dict
+    distances: dict
+
+    def as_forest(self) -> RootedForest:
+        return RootedForest({
+            u: p for u, p in self.parent.items()
+        })
+
+    def next_hop(self, v: object) -> object:
+        """The neighbor to forward to when routing from ``v`` to a source."""
+        return self.parent[v]
+
+
+def build_shortest_path_tree(
+    graph: Graph,
+    distances: dict,
+    sources: dict | None = None,
+    *,
+    metrics: Metrics | None = None,
+) -> RoutingTree:
+    """Derive predecessor pointers from exact distances in one round.
+
+    ``distances`` must be exact closest-source distances (e.g. the output
+    of :func:`repro.core.cssp.cssp`).  Sources and unreachable nodes get
+    parent ``None``.  Ties break toward the smallest neighbor key, so the
+    tree is deterministic.
+    """
+    neighbor_dist = _exchange(graph, distances, metrics)
+    source_set = set(sources or ())
+    parent: dict = {}
+    for v in graph.nodes():
+        dv = distances[v]
+        if dv == INFINITY:
+            parent[v] = None
+            continue
+        if v in source_set and (sources is None or sources[v] == dv):
+            parent[v] = None
+            continue
+        candidates = [
+            u
+            for u, du in neighbor_dist[v].items()
+            if du != INFINITY and du + graph.weight(u, v) == dv
+        ]
+        if not candidates:
+            if dv == 0:
+                parent[v] = None  # implicit source at distance zero
+                continue
+            raise ValueError(
+                f"distances are not consistent at {v!r}: no supporting neighbor"
+            )
+        parent[v] = min(candidates, key=repr)
+    return RoutingTree(parent=parent, distances=dict(distances))
+
+
+def extract_path(tree: RoutingTree, v: object) -> list:
+    """The shortest path from ``v`` back to its source (inclusive)."""
+    if tree.distances.get(v, INFINITY) == INFINITY:
+        raise ValueError(f"{v!r} is unreachable; no path exists")
+    path = [v]
+    seen = {v}
+    while tree.parent[path[-1]] is not None:
+        nxt = tree.parent[path[-1]]
+        if nxt in seen:
+            raise ValueError("cycle in routing tree — distances were inconsistent")
+        seen.add(nxt)
+        path.append(nxt)
+    return path
+
+
+@dataclass
+class VerificationReport:
+    """Outcome of the distributed distance verification."""
+
+    valid: bool
+    tense_edges: list = field(default_factory=list)
+    unsupported_nodes: list = field(default_factory=list)
+    bad_sources: list = field(default_factory=list)
+
+    def __bool__(self) -> bool:
+        return self.valid
+
+
+def verify_distances(
+    graph: Graph,
+    sources: dict,
+    distances: dict,
+    *,
+    metrics: Metrics | None = None,
+) -> VerificationReport:
+    """Distributedly verify that ``distances`` solve the CSSP instance.
+
+    One exchange round; every check is node-local afterwards.  Exactness
+    characterization (for connected reachability): no tense edge, every
+    finite node supported, every source at most its offset, and every
+    node adjacent to a finite node is finite.
+    """
+    neighbor_dist = _exchange(graph, distances, metrics)
+    tense: list = []
+    unsupported: list = []
+    bad_sources: list = []
+
+    for s, offset in sources.items():
+        if distances[s] == INFINITY or distances[s] > offset:
+            bad_sources.append((s, distances[s], offset))
+
+    for v in graph.nodes():
+        dv = distances[v]
+        for u, du in neighbor_dist[v].items():
+            if du != INFINITY:
+                w = graph.weight(u, v)
+                if dv == INFINITY or dv > du + w:
+                    tense.append((u, v, du, dv, w))
+        if dv == INFINITY:
+            continue
+        supported = v in sources and sources[v] == dv
+        if not supported:
+            supported = any(
+                du != INFINITY and du + graph.weight(u, v) == dv
+                for u, du in neighbor_dist[v].items()
+            )
+        if not supported:
+            unsupported.append((v, dv))
+
+    valid = not tense and not unsupported and not bad_sources
+    return VerificationReport(
+        valid=valid,
+        tense_edges=tense,
+        unsupported_nodes=unsupported,
+        bad_sources=bad_sources,
+    )

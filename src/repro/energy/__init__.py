@@ -1,0 +1,45 @@
+"""Section 3: the energy-model (sleeping) algorithms and their substrates."""
+
+from .labeled_bfs import LabeledBFS, run_labeled_bfs
+from .decomposition import Cluster, Decomposition, build_decomposition
+from .covers import (
+    CoverCluster,
+    LayeredCover,
+    SparseCover,
+    build_layered_cover,
+    build_sparse_cover,
+)
+from .cluster_comm import PeriodicTreeAggregation, run_periodic_aggregation
+from .low_energy_bfs import LowEnergyBFSNode, Schedule, run_low_energy_bfs
+from .validation import (
+    ValidationError,
+    validate_decomposition,
+    validate_layered_cover,
+    validate_sparse_cover,
+)
+from .bootstrap import energy_approx_cssp, energy_cssp, low_energy_bfs_from_scratch
+
+__all__ = [
+    "ValidationError",
+    "validate_decomposition",
+    "validate_layered_cover",
+    "validate_sparse_cover",
+    "LabeledBFS",
+    "run_labeled_bfs",
+    "Cluster",
+    "Decomposition",
+    "build_decomposition",
+    "CoverCluster",
+    "LayeredCover",
+    "SparseCover",
+    "build_layered_cover",
+    "build_sparse_cover",
+    "PeriodicTreeAggregation",
+    "run_periodic_aggregation",
+    "LowEnergyBFSNode",
+    "Schedule",
+    "run_low_energy_bfs",
+    "energy_approx_cssp",
+    "energy_cssp",
+    "low_energy_bfs_from_scratch",
+]

@@ -1,0 +1,53 @@
+"""Edge-list serialization for graphs.
+
+Plain-text, one edge per line (``u v w``), with a header comment carrying the
+node count so isolated nodes round-trip.  Used by the examples to persist
+generated topologies and by users who want to feed their own networks in.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+
+from .weighted_graph import Graph
+
+__all__ = ["write_edge_list", "read_edge_list", "dumps", "loads"]
+
+
+def dumps(graph: Graph) -> str:
+    """Serialize to the edge-list text format."""
+    out = io.StringIO()
+    out.write(f"# nodes {graph.num_nodes}\n")
+    for u in sorted(graph.nodes(), key=repr):
+        out.write(f"# node {u}\n")
+    for u, v, w in sorted(graph.edges(), key=lambda e: (repr(e[0]), repr(e[1]))):
+        out.write(f"{u} {v} {w}\n")
+    return out.getvalue()
+
+
+def loads(text: str) -> Graph:
+    """Parse the edge-list text format (integer node ids only)."""
+    graph = Graph()
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line[1:].split()
+            if len(parts) == 2 and parts[0] == "node":
+                graph.add_node(int(parts[1]))
+            continue
+        u_str, v_str, w_str = line.split()
+        graph.add_edge(int(u_str), int(v_str), int(w_str))
+    return graph
+
+
+def write_edge_list(graph: Graph, path: str | Path) -> None:
+    """Write ``graph`` to ``path`` in the edge-list format."""
+    Path(path).write_text(dumps(graph))
+
+
+def read_edge_list(path: str | Path) -> Graph:
+    """Read a graph previously written by :func:`write_edge_list`."""
+    return loads(Path(path).read_text())

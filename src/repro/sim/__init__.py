@@ -1,0 +1,7 @@
+"""Simulator of the synchronous CONGEST model and its sleeping variant."""
+
+from .metrics import Metrics
+from .runner import Context, Mode, NodeAlgorithm, Runner, SimulationError
+from .trace import TracingMetrics
+
+__all__ = ["Metrics", "TracingMetrics", "Context", "Mode", "NodeAlgorithm", "Runner", "SimulationError"]

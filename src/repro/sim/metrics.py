@@ -1,0 +1,141 @@
+"""Complexity metrics for simulated distributed executions.
+
+The paper's claims are stated in four currencies (Sections 1.1 and 1.2):
+
+* **time** — number of lock-step rounds until all nodes have their outputs;
+* **message complexity** — total messages sent network-wide;
+* **congestion** — the maximum, over directed edges, of messages sent
+  through that edge during the whole execution;
+* **energy** — the maximum, over nodes, of rounds in which the node is awake.
+
+:class:`Metrics` records all four, plus per-node subproblem participation
+(to validate Lemma 2.4) and lost-message counts (sleeping model).  Metrics
+objects merge, so a recursive algorithm's totals are honest sums over its
+phases.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+__all__ = ["Metrics"]
+
+
+class Metrics:
+    """Mutable accumulator of execution costs.
+
+    Directed edge counts are keyed ``(src, dst)``; the undirected per-edge
+    congestion used in the paper's statements is exposed via
+    :meth:`edge_congestion` / :attr:`max_congestion` (max over directions —
+    the sleeping-model definition "at most T messages through it in each
+    direction" makes per-direction the faithful reading).
+    """
+
+    def __init__(self) -> None:
+        self.rounds: int = 0
+        self.total_messages: int = 0
+        self.lost_messages: int = 0
+        self.edge_messages: Counter = Counter()
+        self.awake_rounds: Counter = Counter()
+        self.subproblem_participation: Counter = Counter()
+        # In-phase round of the currently executing runner; set by Runner so
+        # subclasses can timestamp individual sends (see repro.core.apsp).
+        self.current_round: int = 0
+
+    # ------------------------------------------------------------------
+    # recording (called by the runner)
+    # ------------------------------------------------------------------
+    def record_send(self, src: object, dst: object, delivered: bool) -> None:
+        """Count one message on directed edge ``src -> dst``."""
+        self.total_messages += 1
+        self.edge_messages[(src, dst)] += 1
+        if not delivered:
+            self.lost_messages += 1
+
+    def record_awake(self, node: object, rounds: int = 1) -> None:
+        """Credit ``rounds`` awake rounds to ``node``."""
+        self.awake_rounds[node] += rounds
+
+    def record_rounds(self, rounds: int) -> None:
+        """Extend the global round clock by ``rounds``."""
+        self.rounds += rounds
+
+    def record_participation(self, node: object) -> None:
+        """Note that ``node`` took part in one (sub)problem (Lemma 2.4)."""
+        self.subproblem_participation[node] += 1
+
+    # ------------------------------------------------------------------
+    # derived quantities (the paper's four complexity measures)
+    # ------------------------------------------------------------------
+    @property
+    def max_congestion(self) -> int:
+        """Max messages through any directed edge — the congestion measure."""
+        if not self.edge_messages:
+            return 0
+        return max(self.edge_messages.values())
+
+    @property
+    def max_energy(self) -> int:
+        """Max awake rounds over nodes — the energy complexity measure."""
+        if not self.awake_rounds:
+            return 0
+        return max(self.awake_rounds.values())
+
+    @property
+    def max_participation(self) -> int:
+        """Max number of subproblems any node appeared in (Lemma 2.4)."""
+        if not self.subproblem_participation:
+            return 0
+        return max(self.subproblem_participation.values())
+
+    def energy_of(self, node: object) -> int:
+        return self.awake_rounds.get(node, 0)
+
+    def congestion_of(self, u: object, v: object) -> int:
+        """Messages through the undirected edge ``{u, v}`` (both directions)."""
+        return self.edge_messages.get((u, v), 0) + self.edge_messages.get((v, u), 0)
+
+    # ------------------------------------------------------------------
+    # composition
+    # ------------------------------------------------------------------
+    def merge(self, other: "Metrics", *, sequential: bool = True) -> None:
+        """Fold ``other`` into this accumulator.
+
+        ``sequential=True`` (phases run back-to-back) adds round counts;
+        ``sequential=False`` (phases run concurrently, e.g. independent
+        connected components) takes the max of round counts.  Messages,
+        congestion, energy and participation always add — they are totals
+        regardless of scheduling.
+        """
+        if sequential:
+            self.rounds += other.rounds
+        else:
+            self.rounds = max(self.rounds, other.rounds)
+        self.total_messages += other.total_messages
+        self.lost_messages += other.lost_messages
+        self.edge_messages.update(other.edge_messages)
+        self.awake_rounds.update(other.awake_rounds)
+        self.subproblem_participation.update(other.subproblem_participation)
+
+    def copy(self) -> "Metrics":
+        out = Metrics()
+        out.merge(self)
+        return out
+
+    def summary(self) -> dict[str, int]:
+        """The headline numbers as a plain dict (for tables and logs)."""
+        return {
+            "rounds": self.rounds,
+            "messages": self.total_messages,
+            "lost_messages": self.lost_messages,
+            "congestion": self.max_congestion,
+            "energy": self.max_energy,
+            "max_participation": self.max_participation,
+        }
+
+    def __repr__(self) -> str:
+        s = self.summary()
+        return (
+            f"Metrics(rounds={s['rounds']}, messages={s['messages']}, "
+            f"congestion={s['congestion']}, energy={s['energy']})"
+        )

@@ -1,0 +1,290 @@
+"""Round-accurate simulator of the synchronous message-passing model.
+
+Two execution modes mirror the paper's two settings:
+
+* :data:`Mode.CONGEST` — the classic synchronous CONGEST model of
+  Section 1.1.  Every node is conceptually awake every round.  As a pure
+  simulation optimization, node algorithms may *sleep* through rounds in
+  which they have nothing to do; the runner then buffers their messages and
+  wakes them on arrival ("wake-on-message").  This changes no observable of
+  the model — time, message and congestion accounting are exactly those of
+  an always-awake execution — it only skips no-op Python work.  The energy
+  metric is *not meaningful* in this mode.
+
+* :data:`Mode.SLEEPING` — the sleeping model of Section 1.2.  A node is
+  awake only in rounds it scheduled; **messages sent to a sleeping node are
+  lost** (recorded in ``Metrics.lost_messages``) and there is no
+  wake-on-message.  The awake-round count per node is the energy complexity.
+
+Rounds are lock-step.  In round ``r`` every awake node consumes the messages
+delivered to it in earlier rounds (its mailbox), updates state, and sends at
+most ``edge_capacity`` messages per incident directed edge.  Messages sent in
+round ``r`` are available from round ``r + 1``.
+
+``round_width`` supports the paper's *megarounds* (Section 3.1.3): when
+``k`` logical subroutines share edges, the paper groups ``k`` real rounds
+into one megaround and a node awake in any of them stays awake for all of
+them.  Setting ``round_width=k, edge_capacity=k`` makes one simulated round
+stand for one megaround: the rounds/energy metrics advance by ``k`` per
+simulated round and up to ``k`` messages may cross an edge (one per real
+slot).  All paper-facing metrics remain exact.
+"""
+
+from __future__ import annotations
+
+import enum
+import heapq
+from collections import Counter
+
+from ..graphs import Graph
+from .metrics import Metrics
+
+__all__ = ["Mode", "Context", "NodeAlgorithm", "Runner", "SimulationError"]
+
+
+class Mode(enum.Enum):
+    """Execution semantics: classic CONGEST vs the sleeping (energy) model."""
+
+    CONGEST = "congest"
+    SLEEPING = "sleeping"
+
+
+class SimulationError(RuntimeError):
+    """Raised on protocol violations (capacity breach, bad target, overrun)."""
+
+
+#: Sentinel for :meth:`Context.idle` — sleep with no scheduled wake.
+_IDLE = -1
+
+
+class Context:
+    """Per-node handle through which an algorithm interacts with the network.
+
+    Exposes the node's local view only: its id, its incident edges and their
+    weights, the current round, and the actions *send*, *sleep*, *halt*.
+    Algorithms must not touch the graph globally — that is what keeps the
+    implementations honest distributed algorithms.
+    """
+
+    __slots__ = ("node", "round", "_runner", "_neighbors", "_weights", "_next_wake", "_halted")
+
+    def __init__(self, runner: "Runner", node: object) -> None:
+        self.node = node
+        self.round = 0
+        self._runner = runner
+        self._neighbors = tuple(runner.graph.neighbors(node))
+        self._weights = {v: runner.graph.weight(node, v) for v in self._neighbors}
+        self._next_wake: int | None = None
+        self._halted = False
+
+    # -- local topology -------------------------------------------------
+    @property
+    def neighbors(self) -> tuple:
+        return self._neighbors
+
+    def weight(self, neighbor: object) -> int:
+        return self._weights[neighbor]
+
+    @property
+    def degree(self) -> int:
+        return len(self._neighbors)
+
+    # -- actions ---------------------------------------------------------
+    def send(self, neighbor: object, payload: object) -> None:
+        """Send ``payload`` to ``neighbor`` this round (arrives next round)."""
+        if neighbor not in self._weights:
+            raise SimulationError(f"{self.node!r} tried to message non-neighbor {neighbor!r}")
+        self._runner._enqueue(self.node, neighbor, payload)
+
+    def broadcast(self, payload: object) -> None:
+        """Send ``payload`` to every neighbor (one message per edge)."""
+        for v in self._neighbors:
+            self.send(v, payload)
+
+    def wake_at(self, round_number: int) -> None:
+        """Sleep after this round and wake at the given absolute round."""
+        if round_number <= self.round:
+            raise SimulationError(
+                f"{self.node!r} scheduled wake at {round_number} <= current round {self.round}"
+            )
+        if self._next_wake is None or round_number < self._next_wake:
+            self._next_wake = round_number
+
+    def sleep_for(self, rounds: int) -> None:
+        """Sleep for ``rounds`` rounds (wake at ``round + rounds``)."""
+        self.wake_at(self.round + rounds)
+
+    def idle(self) -> None:
+        """Sleep with no scheduled wake.
+
+        In CONGEST mode an arriving message wakes the node (this is the
+        no-op-skipping optimization; the node is conceptually awake).  In the
+        SLEEPING model an idle node genuinely never wakes again — use only
+        when the protocol guarantees nothing more is coming.
+        """
+        self._next_wake = _IDLE
+
+    def halt(self) -> None:
+        """Finish: never wake again.  Output must already be in local state."""
+        self._halted = True
+
+
+class NodeAlgorithm:
+    """Base class for one node's protocol logic.
+
+    Subclasses implement :meth:`on_round`.  The same instance persists for
+    the whole execution, so instance attributes are the node's local memory.
+    By default a node stays awake every round until it calls ``ctx.halt()``
+    or schedules a wake; override behavior entirely in ``on_round``.
+    """
+
+    def on_round(self, ctx: Context, inbox: list[tuple[object, object]]) -> None:
+        """Handle one awake round.  ``inbox`` holds ``(sender, payload)`` pairs."""
+        raise NotImplementedError
+
+
+class Runner:
+    """Executes one protocol over a graph and meters it.
+
+    Parameters
+    ----------
+    graph:
+        The network.  Every node of the graph must have an algorithm.
+    algorithms:
+        Mapping node -> :class:`NodeAlgorithm` instance.
+    mode:
+        :data:`Mode.CONGEST` (buffered, wake-on-message) or
+        :data:`Mode.SLEEPING` (lossy, strict schedules).
+    round_width / edge_capacity:
+        Megaround support; see the module docstring.
+    metrics:
+        Optional shared accumulator (for phase composition).  A fresh one is
+        created if omitted.
+    max_rounds:
+        Hard safety bound; exceeding it raises :class:`SimulationError`.
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        algorithms: dict,
+        mode: Mode = Mode.CONGEST,
+        *,
+        round_width: int = 1,
+        edge_capacity: int = 1,
+        metrics: Metrics | None = None,
+        max_rounds: int = 10_000_000,
+    ) -> None:
+        missing = [u for u in graph.nodes() if u not in algorithms]
+        if missing:
+            raise SimulationError(f"nodes without an algorithm: {missing[:5]}")
+        self.graph = graph
+        self.algorithms = algorithms
+        self.mode = mode
+        self.round_width = round_width
+        self.edge_capacity = edge_capacity
+        self.metrics = metrics if metrics is not None else Metrics()
+        self.max_rounds = max_rounds
+        self._contexts = {u: Context(self, u) for u in graph.nodes()}
+        self._mailboxes: dict[object, list] = {u: [] for u in graph.nodes()}
+        self._outbox: list[tuple[object, object, object]] = []
+        self._edge_load: Counter = Counter()
+
+    # ------------------------------------------------------------------
+    def _enqueue(self, src: object, dst: object, payload: object) -> None:
+        self._edge_load[(src, dst)] += 1
+        if self._edge_load[(src, dst)] > self.edge_capacity:
+            raise SimulationError(
+                f"edge capacity exceeded: {src!r}->{dst!r} sent "
+                f"{self._edge_load[(src, dst)]} messages in one round "
+                f"(capacity {self.edge_capacity})"
+            )
+        self._outbox.append((src, dst, payload))
+
+    # ------------------------------------------------------------------
+    def run(self) -> Metrics:
+        """Simulate until quiescence; return the (possibly shared) metrics."""
+        self._wake_heap: list[int] = []
+        self._wake_rounds: dict[int, set] = {}
+        # next_wake_of[u] is the earliest scheduled wake of u, or None if u
+        # is idle (wakeable by message in CONGEST mode) or halted.
+        self._next_wake_of: dict[object, int | None] = {}
+        for u in self.graph.nodes():
+            self._schedule(u, 0)
+        last_round = -1
+
+        while self._wake_heap:
+            r = heapq.heappop(self._wake_heap)
+            bucket = self._wake_rounds.pop(r, set())
+            # Filter stale entries (a node rescheduled to an earlier round
+            # leaves its old bucket entry behind) and halted nodes.
+            awake = {
+                u
+                for u in bucket
+                if self._next_wake_of.get(u) == r and not self._contexts[u]._halted
+            }
+            if not awake:
+                continue
+            if r >= self.max_rounds:
+                raise SimulationError(f"exceeded max_rounds={self.max_rounds}")
+            last_round = r
+
+            # --- node steps -------------------------------------------
+            # Expose the in-phase round to metrics subclasses that stamp
+            # events (awake records and message sends) with time.
+            self.metrics.current_round = r
+            self._outbox = []
+            self._edge_load = Counter()
+            for u in sorted(awake, key=repr):
+                ctx = self._contexts[u]
+                ctx.round = r
+                ctx._next_wake = None
+                self._next_wake_of[u] = None
+                inbox = self._mailboxes[u]
+                self._mailboxes[u] = []
+                self.algorithms[u].on_round(ctx, inbox)
+                self.metrics.record_awake(u, self.round_width)
+
+            # --- next wakes (before delivery, so wake-on-message knows
+            # which recipients are idle) --------------------------------
+            for u in awake:
+                ctx = self._contexts[u]
+                if ctx._halted or ctx._next_wake is _IDLE:
+                    continue
+                nxt = ctx._next_wake if ctx._next_wake is not None else r + 1
+                self._schedule(u, nxt)
+
+            # --- delivery ---------------------------------------------
+            for src, dst, payload in self._outbox:
+                if self.mode is Mode.SLEEPING:
+                    # Sleeping model: a message reaches its target only if the
+                    # target was awake in the round it was sent (Section 1.2).
+                    delivered = dst in awake and not self._contexts[dst]._halted
+                    self.metrics.record_send(src, dst, delivered)
+                    if delivered:
+                        self._mailboxes[dst].append((src, payload))
+                else:
+                    # CONGEST: every node is conceptually awake; messages are
+                    # never lost.  A halted node discards arrivals silently.
+                    self.metrics.record_send(src, dst, True)
+                    if not self._contexts[dst]._halted:
+                        self._mailboxes[dst].append((src, payload))
+                        # Wake-on-message: recipients process fresh input next
+                        # round.  Protocols must recompute their wake schedule
+                        # on every call (they may be woken "early").
+                        self._schedule(dst, r + 1)
+
+        self.metrics.record_rounds((last_round + 1) * self.round_width)
+        return self.metrics
+
+    def _schedule(self, node: object, round_number: int) -> None:
+        current = self._next_wake_of.get(node)
+        if current is not None and current <= round_number:
+            return
+        self._next_wake_of[node] = round_number
+        bucket = self._wake_rounds.get(round_number)
+        if bucket is None:
+            self._wake_rounds[round_number] = {node}
+            heapq.heappush(self._wake_heap, round_number)
+        else:
+            bucket.add(node)

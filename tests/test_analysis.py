@@ -1,0 +1,93 @@
+"""Scaling fits and table rendering."""
+
+import math
+
+import pytest
+
+from repro.analysis import (
+    compare_models,
+    fit_polylog,
+    fit_power_law,
+    linear_regression,
+    render_table,
+)
+
+
+class TestRegression:
+    def test_exact_line(self):
+        a, b, r2 = linear_regression([0, 1, 2, 3], [5, 7, 9, 11])
+        assert a == pytest.approx(5)
+        assert b == pytest.approx(2)
+        assert r2 == pytest.approx(1.0)
+
+    def test_needs_two_points(self):
+        with pytest.raises(ValueError):
+            linear_regression([1], [1])
+
+    def test_degenerate_x(self):
+        with pytest.raises(ValueError):
+            linear_regression([2, 2], [1, 3])
+
+    def test_constant_y(self):
+        _, slope, r2 = linear_regression([1, 2, 3], [4, 4, 4])
+        assert slope == pytest.approx(0)
+        assert r2 == pytest.approx(1.0)
+
+
+class TestPowerFits:
+    def test_recovers_exponent(self):
+        xs = [8, 16, 32, 64, 128]
+        ys = [3 * x**1.5 for x in xs]
+        fit = fit_power_law(xs, ys)
+        assert fit.exponent == pytest.approx(1.5, abs=0.01)
+        assert fit.coefficient == pytest.approx(3, rel=0.05)
+        assert fit.r2 > 0.999
+
+    def test_predict(self):
+        fit = fit_power_law([2, 4, 8], [2, 4, 8])
+        assert fit.predict(16) == pytest.approx(16, rel=0.01)
+
+    def test_polylog_recovers_exponent(self):
+        xs = [8, 16, 32, 64, 128, 256]
+        ys = [5 * math.log2(x) ** 2 for x in xs]
+        fit = fit_polylog(xs, ys)
+        assert fit.exponent == pytest.approx(2, abs=0.01)
+
+    def test_compare_prefers_polylog_on_polylog_data(self):
+        xs = [8, 16, 32, 64, 128, 256, 512]
+        ys = [5 * math.log2(x) ** 2 for x in xs]
+        assert compare_models(xs, ys)["verdict"] == "polylog"
+
+    def test_compare_prefers_power_on_linear_data(self):
+        xs = [8, 16, 32, 64, 128, 256, 512]
+        ys = [5 * x for x in xs]
+        out = compare_models(xs, ys)
+        assert out["verdict"] == "power"
+        assert out["power"].exponent == pytest.approx(1.0, abs=0.01)
+
+    def test_small_power_counts_as_polylog(self):
+        xs = [8, 16, 32, 64]
+        ys = [x**0.2 for x in xs]
+        assert compare_models(xs, ys)["verdict"] == "polylog"
+
+
+class TestTables:
+    def test_render_basic(self):
+        out = render_table("T", ["a", "bb"], [[1, 2.5], [30, "x"]])
+        lines = out.splitlines()
+        assert lines[0] == "== T =="
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert "30" in lines[4]  # title, header, separator, row 1, row 2
+
+    def test_alignment_width(self):
+        out = render_table("t", ["col"], [["longvalue"]])
+        header, sep, row = out.splitlines()[1:]
+        assert len(header) == len(row)
+
+    def test_infinity_rendered(self):
+        out = render_table("t", ["x"], [[float("inf")]])
+        assert "inf" in out
+
+    def test_float_formatting(self):
+        out = render_table("t", ["x"], [[1.23456]])
+        assert "1.23" in out

@@ -1,0 +1,89 @@
+"""Baselines: distributed Bellman-Ford and naive distributed Dijkstra."""
+
+from conftest import assert_distances_equal, small_weighted_graph
+from repro import graphs
+from repro.baselines import run_bellman_ford, run_distributed_dijkstra
+from repro.graphs import Graph, INFINITY
+from repro.sim import Metrics
+
+
+class TestBellmanFord:
+    def test_exact_random(self):
+        for seed in range(5):
+            g = small_weighted_graph(20, seed)
+            assert_distances_equal(run_bellman_ford(g, 0), g.dijkstra([0]), f"seed {seed}")
+
+    def test_exact_optimized_variant(self):
+        g = small_weighted_graph(20, 9)
+        assert_distances_equal(
+            run_bellman_ford(g, 0, send_on_change=True), g.dijkstra([0]), "opt"
+        )
+
+    def test_unreachable(self):
+        g = Graph.from_edges([(0, 1, 3)], nodes=[2])
+        assert run_bellman_ford(g, 0)[2] == INFINITY
+
+    def test_rounds_linear(self):
+        g = graphs.path_graph(30)
+        m = Metrics()
+        run_bellman_ford(g, 0, metrics=m)
+        assert m.rounds <= 31
+
+    def test_naive_congestion_is_theta_n(self):
+        # The paper's point: every reached node re-sends every round.
+        g = graphs.complete_graph(15)
+        m = Metrics()
+        run_bellman_ford(g, 0, metrics=m)
+        assert m.max_congestion >= g.num_nodes - 2
+
+    def test_optimized_sends_fewer_messages(self):
+        g = small_weighted_graph(25, 11)
+        naive, opt = Metrics(), Metrics()
+        run_bellman_ford(g, 0, metrics=naive)
+        run_bellman_ford(g, 0, send_on_change=True, metrics=opt)
+        assert opt.total_messages < naive.total_messages
+
+    def test_naive_messages_theta_mn_on_dense(self):
+        g = graphs.complete_graph(12)
+        m = Metrics()
+        run_bellman_ford(g, 0, metrics=m)
+        # All nodes reached after round 1; m edges active nearly n rounds.
+        assert m.total_messages >= g.num_edges * (g.num_nodes - 3)
+
+
+class TestDistributedDijkstra:
+    def test_exact_random(self):
+        for seed in range(4):
+            g = small_weighted_graph(15, seed + 50)
+            assert_distances_equal(
+                run_distributed_dijkstra(g, 0), g.dijkstra([0]), f"seed {seed}"
+            )
+
+    def test_unweighted(self):
+        g = graphs.grid_graph(4, 4)
+        assert_distances_equal(run_distributed_dijkstra(g, 0), g.hop_distances([0]), "grid")
+
+    def test_unreachable(self):
+        g = Graph.from_edges([(0, 1, 2)], nodes=[2])
+        d = run_distributed_dijkstra(g, 0)
+        assert d[2] == INFINITY
+
+    def test_time_scales_with_n_times_depth(self):
+        # O(n * D) rounds: each visit costs a convergecast over the tree.
+        g = graphs.path_graph(12)
+        m = Metrics()
+        run_distributed_dijkstra(g, 0, metrics=m)
+        assert m.rounds >= 12 * 5  # clearly super-linear in n
+
+    def test_congestion_grows_near_root(self):
+        g = graphs.path_graph(15)
+        m = Metrics()
+        run_distributed_dijkstra(g, 0, metrics=m)
+        # The root edge carries one convergecast per iteration: Theta(n).
+        assert m.max_congestion >= 14
+
+    def test_message_complexity_quadratic(self):
+        g = graphs.path_graph(15)
+        m = Metrics()
+        run_distributed_dijkstra(g, 0, metrics=m)
+        assert m.total_messages >= 15 * 14  # ~n per visited node

@@ -1,0 +1,169 @@
+"""Thresholded weighted BFS: exactness, thresholds, offsets, congestion."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from conftest import assert_distances_equal, oracle_distances, small_weighted_graph
+from repro import graphs
+from repro.core.bfs import run_bfs, run_weighted_bfs
+from repro.graphs import Graph, INFINITY
+from repro.sim import Metrics
+
+
+class TestUnweightedBFS:
+    def test_path(self):
+        g = graphs.path_graph(8)
+        assert run_bfs(g, [0]) == {i: i for i in range(8)}
+
+    def test_multi_source(self):
+        g = graphs.path_graph(9)
+        d = run_bfs(g, [0, 8])
+        assert d[4] == 4
+        assert d[1] == 1 and d[7] == 1
+
+    def test_weights_ignored(self):
+        g = Graph.from_edges([(0, 1, 50), (1, 2, 50)])
+        assert run_bfs(g, [0]) == {0: 0, 1: 1, 2: 2}
+
+    def test_threshold_cuts(self):
+        g = graphs.path_graph(10)
+        d = run_bfs(g, [0], threshold=3)
+        assert d[3] == 3
+        assert d[4] == INFINITY
+
+    def test_disconnected_unreachable(self):
+        g = Graph.from_edges([(0, 1)], nodes=[2])
+        assert run_bfs(g, [0])[2] == INFINITY
+
+    def test_grid_matches_oracle(self):
+        g = graphs.grid_graph(5, 6)
+        assert_distances_equal(run_bfs(g, [0]), g.hop_distances([0]), "grid")
+
+
+class TestWeightedBFS:
+    def test_simple_detour(self):
+        g = Graph.from_edges([(0, 1, 10), (0, 2, 1), (2, 1, 2)])
+        d = run_weighted_bfs(g, {0: 0}, 100)
+        assert d[1] == 3
+
+    def test_matches_dijkstra_random(self):
+        for seed in range(6):
+            g = small_weighted_graph(22, seed)
+            d = run_weighted_bfs(g, {0: 0}, 10**6)
+            assert_distances_equal(d, g.dijkstra([0]), f"seed {seed}")
+
+    def test_multi_source_offsets(self):
+        g = graphs.path_graph(10).reweighted(lambda w: 2)
+        d = run_weighted_bfs(g, {0: 5, 9: 0}, 10**6)
+        expected = oracle_distances(g, {0: 5, 9: 0})
+        assert_distances_equal(d, expected, "offsets")
+
+    def test_source_beaten_by_other_source(self):
+        # A source with a huge offset should take the shorter route through
+        # the other source rather than its own offset.
+        g = Graph.from_edges([(0, 1, 1)])
+        d = run_weighted_bfs(g, {0: 100, 1: 0}, 10**6)
+        assert d[0] == 1
+        assert d[1] == 0
+
+    def test_threshold_semantics_exact_boundary(self):
+        g = graphs.path_graph(6).reweighted(lambda w: 3)
+        d = run_weighted_bfs(g, {0: 0}, 9)
+        assert d[3] == 9
+        assert d[4] == INFINITY
+
+    def test_offset_beyond_threshold(self):
+        g = graphs.path_graph(3)
+        d = run_weighted_bfs(g, {0: 99}, 10)
+        assert all(v == INFINITY for v in d.values())
+
+    def test_zero_weight_rejected(self):
+        g = Graph.from_edges([(0, 1, 0)])
+        with pytest.raises(ValueError):
+            run_weighted_bfs(g, {0: 0}, 5)
+
+    def test_unknown_source_rejected(self):
+        with pytest.raises(KeyError):
+            run_weighted_bfs(graphs.path_graph(3), {9: 0}, 5)
+
+    def test_negative_offset_rejected(self):
+        with pytest.raises(ValueError):
+            run_weighted_bfs(graphs.path_graph(3), {0: -1}, 5)
+
+    def test_negative_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            run_weighted_bfs(graphs.path_graph(3), {0: 0}, -1)
+
+    def test_no_sources(self):
+        d = run_weighted_bfs(graphs.path_graph(3), {}, 5)
+        assert all(v == INFINITY for v in d.values())
+
+    def test_collect_parents_form_shortest_path_tree(self):
+        from repro.core.bfs import WeightedBFS
+        from repro.sim import Mode, Runner
+
+        g = small_weighted_graph(18, seed=3)
+        algs = {
+            u: WeightedBFS(u, 10**6, source_offset=0 if u == 0 else None,
+                           collect_parent=True)
+            for u in g.nodes()
+        }
+        Runner(g, algs, Mode.CONGEST).run()
+        truth = g.dijkstra([0])
+        for u in g.nodes():
+            parent = algs[u].parent
+            if u == 0 or truth[u] == INFINITY:
+                assert parent is None
+            else:
+                assert truth[u] == truth[parent] + g.weight(u, parent)
+
+
+class TestBFSCosts:
+    def test_congestion_is_one_per_direction(self):
+        g = graphs.grid_graph(5, 5)
+        m = Metrics()
+        run_bfs(g, [0], metrics=m)
+        assert m.max_congestion <= 1
+
+    def test_message_complexity_at_most_2m(self):
+        g = graphs.random_connected_graph(30, seed=4)
+        m = Metrics()
+        run_bfs(g, [0], metrics=m)
+        assert m.total_messages <= 2 * g.num_edges
+
+    def test_rounds_about_threshold(self):
+        g = graphs.path_graph(12)
+        m = Metrics()
+        run_bfs(g, [0], threshold=5, metrics=m)
+        # The thresholded BFS honestly charges Theta(tau) rounds.
+        assert 5 <= m.rounds <= 8
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.integers(min_value=2, max_value=24),
+    st.integers(min_value=0, max_value=10**6),
+    st.integers(min_value=1, max_value=12),
+)
+def test_property_weighted_bfs_equals_dijkstra(n, seed, max_w):
+    g = graphs.random_weights(graphs.random_connected_graph(n, seed=seed), max_w, seed=seed)
+    d = run_weighted_bfs(g, {0: 0}, n * max_w + 1)
+    truth = g.dijkstra([0])
+    assert d == truth
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    st.integers(min_value=3, max_value=20),
+    st.integers(min_value=0, max_value=10**6),
+    st.integers(min_value=1, max_value=30),
+)
+def test_property_threshold_is_exact_filter(n, seed, tau):
+    g = graphs.random_weights(graphs.random_connected_graph(n, seed=seed), 5, seed=seed)
+    d = run_weighted_bfs(g, {0: 0}, tau)
+    truth = g.dijkstra([0])
+    for u in g.nodes():
+        if truth[u] <= tau:
+            assert d[u] == truth[u]
+        else:
+            assert d[u] == INFINITY

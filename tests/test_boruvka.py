@@ -1,0 +1,113 @@
+"""Distributed Boruvka: spanning-forest validity and cost bounds (Thm 2.2)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro import graphs
+from repro.core.boruvka import (
+    boruvka_phase_count,
+    boruvka_round_bound,
+    build_maximal_forest,
+)
+from repro.graphs import Graph
+from repro.sim import Metrics
+
+
+class TestForestValidity:
+    def test_path(self):
+        g = graphs.path_graph(10)
+        build_maximal_forest(g).validate_against(g)
+
+    def test_cycle(self):
+        g = graphs.cycle_graph(9)
+        f = build_maximal_forest(g)
+        f.validate_against(g)
+        assert len(f.roots) == 1
+
+    def test_complete(self):
+        g = graphs.complete_graph(8)
+        build_maximal_forest(g).validate_against(g)
+
+    def test_grid(self):
+        g = graphs.grid_graph(5, 5)
+        build_maximal_forest(g).validate_against(g)
+
+    def test_star(self):
+        g = graphs.star_graph(12)
+        build_maximal_forest(g).validate_against(g)
+
+    def test_disconnected(self):
+        g = Graph.from_edges([(0, 1), (2, 3), (3, 4)], nodes=[9])
+        f = build_maximal_forest(g)
+        f.validate_against(g)
+        assert len(f.roots) == 3
+
+    def test_singleton(self):
+        g = Graph()
+        g.add_node(0)
+        f = build_maximal_forest(g)
+        assert f.roots == [0]
+
+    def test_empty(self):
+        assert build_maximal_forest(Graph()).parent == {}
+
+    def test_weighted_edges_do_not_matter(self):
+        g = graphs.random_weights(graphs.random_connected_graph(15, seed=1), 9, seed=2)
+        build_maximal_forest(g).validate_against(g)
+
+    def test_many_random_graphs(self):
+        for seed in range(8):
+            g = graphs.random_graph(18, 0.12, seed=seed)
+            build_maximal_forest(g).validate_against(g)
+
+    def test_deterministic(self):
+        g = graphs.random_graph(15, 0.2, seed=3)
+        f1 = build_maximal_forest(g)
+        f2 = build_maximal_forest(g)
+        assert f1.parent == f2.parent
+
+
+class TestBoruvkaCosts:
+    def test_round_bound_respected(self):
+        g = graphs.random_connected_graph(25, seed=4)
+        m = Metrics()
+        build_maximal_forest(g, metrics=m)
+        assert m.rounds <= boruvka_round_bound(25)
+
+    def test_congestion_logarithmic(self):
+        g = graphs.random_connected_graph(40, seed=5)
+        m = Metrics()
+        build_maximal_forest(g, metrics=m)
+        # O(1) messages per edge per phase; phases = O(log n).
+        assert m.max_congestion <= 4 * boruvka_phase_count(40)
+
+    def test_low_awake_time(self):
+        # The event-driven protocol leaves nodes asleep between their
+        # scheduled segment actions — the Thm 3.1 energy profile.
+        g = graphs.path_graph(50)
+        m = Metrics()
+        build_maximal_forest(g, metrics=m)
+        assert m.max_energy < m.rounds / 3
+
+    def test_phase_count_bounds(self):
+        assert boruvka_phase_count(2) == 2
+        assert boruvka_phase_count(1024) == 11
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    st.integers(min_value=1, max_value=20),
+    st.floats(min_value=0.0, max_value=0.5),
+    st.integers(min_value=0, max_value=10**6),
+)
+def test_property_forest_always_valid(n, p, seed):
+    g = graphs.random_graph(n, p, seed=seed)
+    build_maximal_forest(g).validate_against(g)
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(min_value=2, max_value=18), st.integers(min_value=0, max_value=10**6))
+def test_property_tree_edge_count(n, seed):
+    g = graphs.random_connected_graph(n, seed=seed)
+    f = build_maximal_forest(g)
+    non_roots = [u for u, p in f.parent.items() if p is not None]
+    assert len(non_roots) == n - 1

@@ -1,0 +1,47 @@
+"""The ``python -m repro`` command-line interface."""
+
+import subprocess
+import sys
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestCLI:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "PODC 2024" in out
+        assert "repro.energy.low_energy_bfs" in out
+
+    def test_demo_small(self, capsys):
+        assert main(["demo", "12"]) == 0
+        out = capsys.readouterr().out
+        assert "exact vs oracle: True" in out
+
+    def test_help(self, capsys):
+        assert main([]) == 0
+        assert "Commands" in capsys.readouterr().out
+
+    def test_unknown_command(self, capsys):
+        assert main(["frobnicate"]) == 2
+
+    def test_report_missing_dir(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            main(["report", str(tmp_path / "nope")])
+
+    def test_report_roundtrip(self, tmp_path, capsys):
+        d = tmp_path / "results"
+        d.mkdir()
+        (d / "E1_correctness.txt").write_text("== E1 ==\n")
+        out_file = tmp_path / "r.md"
+        assert main(["report", str(d), str(out_file)]) == 0
+        assert "E1" in out_file.read_text()
+
+    def test_module_invocation(self):
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "info"], capture_output=True, text=True
+        )
+        assert proc.returncode == 0
+        assert "PODC" in proc.stdout

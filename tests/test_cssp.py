@@ -1,0 +1,222 @@
+"""The recursive CSSP (Section 2.3): exactness, thresholds, zero weights,
+participation bounds, and complexity profiles."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from conftest import assert_distances_equal, oracle_distances, small_weighted_graph
+from repro import graphs
+from repro.core.cssp import cssp, distance_upper_bound, thresholded_cssp
+from repro.graphs import Graph, INFINITY
+from repro.sim import Metrics
+
+
+class TestCSSPExactness:
+    def test_single_source_random(self):
+        for seed in range(6):
+            g = small_weighted_graph(20, seed, max_weight=15)
+            d, _ = cssp(g, {0: 0})
+            assert_distances_equal(d, g.dijkstra([0]), f"seed {seed}")
+
+    def test_unweighted(self):
+        g = graphs.grid_graph(5, 5)
+        d, _ = cssp(g, [0])
+        assert_distances_equal(d, g.hop_distances([0]), "grid")
+
+    def test_path_extreme_diameter(self):
+        g = graphs.path_graph(40).reweighted(lambda w: 13)
+        d, _ = cssp(g, {0: 0})
+        assert_distances_equal(d, g.dijkstra([0]), "path")
+
+    def test_multi_source(self):
+        g = small_weighted_graph(25, 4)
+        d, _ = cssp(g, {0: 0, 12: 0, 24: 0})
+        assert_distances_equal(d, g.dijkstra([0, 12, 24]), "multi")
+
+    def test_sources_as_list(self):
+        g = graphs.path_graph(6)
+        d, _ = cssp(g, [2, 5])
+        assert d[0] == 2 and d[4] == 1
+
+    def test_source_offsets(self):
+        for seed in range(4):
+            g = small_weighted_graph(18, seed, max_weight=8)
+            sources = {0: 7, 9: 0, 17: 21}
+            d, _ = cssp(g, sources)
+            assert_distances_equal(d, oracle_distances(g, sources), f"seed {seed}")
+
+    def test_disconnected(self):
+        g = Graph.from_edges([(0, 1, 2), (2, 3, 4)])
+        d, _ = cssp(g, {0: 0})
+        assert d[1] == 2 and d[2] == INFINITY and d[3] == INFINITY
+
+    def test_star_and_caterpillar(self):
+        for g in (graphs.star_graph(20), graphs.caterpillar_graph(7, 2)):
+            gw = graphs.random_weights(g, 9, seed=5)
+            d, _ = cssp(gw, {0: 0})
+            assert_distances_equal(d, gw.dijkstra([0]), "family")
+
+    def test_lollipop_uneven_split(self):
+        g = graphs.random_weights(graphs.lollipop_graph(6, 10), 7, seed=6)
+        d, _ = cssp(g, {0: 0})
+        assert_distances_equal(d, g.dijkstra([0]), "lollipop")
+
+    def test_heavy_weights(self):
+        g = graphs.random_weights(graphs.random_connected_graph(15, seed=7), 997, seed=8)
+        d, _ = cssp(g, {0: 0})
+        assert_distances_equal(d, g.dijkstra([0]), "heavy")
+
+    def test_eps_variants(self):
+        g = small_weighted_graph(16, 9)
+        for eps in (0.1, 0.25, 0.5, 0.9):
+            d, _ = cssp(g, {0: 0}, eps=eps)
+            assert_distances_equal(d, g.dijkstra([0]), f"eps {eps}")
+
+    def test_empty_graph(self):
+        d, _ = cssp(Graph(), {})
+        assert d == {}
+
+    def test_no_sources(self):
+        g = graphs.path_graph(3)
+        d, _ = cssp(g, {})
+        assert all(v == INFINITY for v in d.values())
+
+    def test_unknown_source(self):
+        with pytest.raises(KeyError):
+            cssp(graphs.path_graph(3), {9: 0})
+
+
+class TestZeroWeights:
+    def test_zero_weight_edge_basic(self):
+        g = Graph.from_edges([(0, 1, 0), (1, 2, 5)])
+        d, _ = cssp(g, {0: 0})
+        assert d == {0: 0, 1: 0, 2: 5}
+
+    def test_zero_components_contracted(self):
+        g = Graph.from_edges([(0, 1, 0), (1, 2, 0), (2, 3, 7), (3, 4, 0)])
+        d, _ = cssp(g, {0: 0})
+        assert d == {0: 0, 1: 0, 2: 0, 3: 7, 4: 7}
+
+    def test_random_zero_weight_graphs(self):
+        for seed in range(5):
+            g = graphs.random_weights(
+                graphs.random_connected_graph(20, seed=seed), 6, seed=seed, min_weight=0
+            )
+            d, _ = cssp(g, {0: 0})
+            assert_distances_equal(d, g.dijkstra([0]), f"zero seed {seed}")
+
+    def test_all_zero_graph(self):
+        g = graphs.path_graph(6).reweighted(lambda w: 0)
+        d, _ = cssp(g, {3: 0})
+        assert all(v == 0 for v in d.values())
+
+    def test_zero_with_multi_source_offsets(self):
+        g = Graph.from_edges([(0, 1, 0), (1, 2, 3), (2, 3, 0)])
+        sources = {0: 5, 3: 1}
+        d, _ = cssp(g, sources)
+        assert_distances_equal(d, oracle_distances(g, sources), "zero offsets")
+
+
+class TestThresholdedSemantics:
+    def test_definition_2_3(self):
+        g = small_weighted_graph(18, 11)
+        truth = g.dijkstra([0])
+        finite = sorted(v for v in truth.values() if v != INFINITY)
+        tau = int(finite[len(finite) // 2])
+        d = thresholded_cssp(g, {0: 0}, tau)
+        for u in g.nodes():
+            if truth[u] <= tau:
+                assert d[u] == truth[u]
+            else:
+                assert d[u] == INFINITY
+
+    def test_non_power_of_two_threshold(self):
+        g = graphs.path_graph(20).reweighted(lambda w: 3)
+        d = thresholded_cssp(g, {0: 0}, 10)
+        assert d[3] == 9
+        assert d[4] == INFINITY
+
+    def test_threshold_zero(self):
+        g = graphs.path_graph(4)
+        d = thresholded_cssp(g, {0: 0}, 0)
+        assert d[0] == 0 and d[1] == INFINITY
+
+    def test_negative_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            thresholded_cssp(graphs.path_graph(3), {0: 0}, -1)
+
+
+class TestRecursionStructure:
+    def test_participation_logarithmic(self):
+        # Lemma 2.4: every node appears in O(log D) subproblems.
+        g = small_weighted_graph(30, 13, max_weight=20)
+        m = Metrics()
+        cssp(g, {0: 0}, metrics=m)
+        log_d = math.log2(distance_upper_bound(g))
+        assert m.max_participation <= 3 * log_d + 5
+
+    def test_distance_upper_bound_is_power_of_two(self):
+        g = graphs.random_weights(graphs.path_graph(10), 13, seed=1)
+        bound = distance_upper_bound(g)
+        assert bound & (bound - 1) == 0
+        assert bound >= 10 * 13
+
+    def test_congestion_well_below_bellman_ford(self):
+        g = small_weighted_graph(30, 14)
+        m = Metrics()
+        cssp(g, {0: 0}, metrics=m)
+        # Theta(n) congestion would be ~30 per round x n rounds; the
+        # recursion stays within polylog x log D of constants.
+        assert m.max_congestion < g.num_nodes * 10
+
+    def test_messages_near_linear_in_m(self):
+        g = graphs.random_connected_graph(40, extra_edge_prob=0.1, seed=15)
+        g = graphs.random_weights(g, 9, seed=16)
+        m = Metrics()
+        cssp(g, {0: 0}, metrics=m)
+        polylog = math.log2(40) * math.log2(distance_upper_bound(g))
+        assert m.total_messages <= 6 * g.num_edges * polylog
+
+    def test_metrics_shared_accumulator(self):
+        g = small_weighted_graph(12, 17)
+        m = Metrics()
+        _, returned = cssp(g, {0: 0}, metrics=m)
+        assert returned is m
+        assert m.rounds > 0 and m.total_messages > 0
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    st.integers(min_value=2, max_value=18),
+    st.integers(min_value=0, max_value=10**6),
+    st.integers(min_value=1, max_value=12),
+)
+def test_property_cssp_equals_dijkstra(n, seed, max_w):
+    g = graphs.random_weights(graphs.random_connected_graph(n, seed=seed), max_w, seed=seed)
+    d, _ = cssp(g, {0: 0})
+    assert d == g.dijkstra([0])
+
+
+@settings(max_examples=12, deadline=None)
+@given(
+    st.integers(min_value=3, max_value=14),
+    st.integers(min_value=0, max_value=10**6),
+    st.integers(min_value=0, max_value=20),
+)
+def test_property_cssp_offsets(n, seed, offset):
+    g = graphs.random_weights(graphs.random_connected_graph(n, seed=seed), 7, seed=seed)
+    sources = {0: offset, n - 1: 0}
+    d, _ = cssp(g, sources)
+    assert d == oracle_distances(g, sources)
+
+
+@settings(max_examples=12, deadline=None)
+@given(st.integers(min_value=3, max_value=14), st.integers(min_value=0, max_value=10**6))
+def test_property_cssp_zero_weights(n, seed):
+    g = graphs.random_weights(
+        graphs.random_connected_graph(n, seed=seed), 4, seed=seed, min_weight=0
+    )
+    d, _ = cssp(g, {0: 0})
+    assert d == g.dijkstra([0])

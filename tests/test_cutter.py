@@ -1,0 +1,112 @@
+"""Lemma 2.1: the approximate cutter's guarantees, timing and congestion."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from conftest import oracle_distances, small_weighted_graph
+from repro import graphs
+from repro.core.cutter import approx_cssp, cutter_quantum
+from repro.graphs import INFINITY
+from repro.sim import Metrics
+
+
+class TestQuantum:
+    def test_exact_when_error_budget_small(self):
+        # eps * W < n forces q = 1, i.e. no rounding at all.
+        assert cutter_quantum(100, 0.5, 100) == 1
+
+    def test_scales_with_bound(self):
+        assert cutter_quantum(10, 0.5, 1000) == 45  # floor(500 / 11)
+
+    def test_at_least_one(self):
+        assert cutter_quantum(1000, 0.01, 10) == 1
+
+
+class TestCutterGuarantees:
+    def check_lemma(self, g, sources, eps, bound):
+        truth = oracle_distances(g, sources)
+        approx = approx_cssp(g, sources, eps, bound)
+        for u in g.nodes():
+            if approx[u] != INFINITY:
+                assert truth[u] <= approx[u] < truth[u] + eps * bound + 1e-9, (
+                    u, approx[u], truth[u],
+                )
+            else:
+                assert truth[u] > 2 * bound, (u, truth[u])
+
+    def test_small_path(self):
+        g = graphs.path_graph(10).reweighted(lambda w: 7)
+        self.check_lemma(g, {0: 0}, 0.5, 20)
+
+    def test_random_graphs_eps_half(self):
+        for seed in range(5):
+            g = small_weighted_graph(20, seed, max_weight=50)
+            self.check_lemma(g, {0: 0}, 0.5, 100)
+
+    def test_random_graphs_small_eps(self):
+        g = small_weighted_graph(20, 9, max_weight=50)
+        self.check_lemma(g, {0: 0}, 0.1, 200)
+
+    def test_multi_source_with_offsets(self):
+        g = small_weighted_graph(24, 3, max_weight=20)
+        self.check_lemma(g, {0: 0, 5: 13, 11: 4}, 0.5, 60)
+
+    def test_all_within_2w_have_finite_output(self):
+        g = graphs.path_graph(30)
+        approx = approx_cssp(g, {0: 0}, 0.5, 10)
+        truth = g.dijkstra([0])
+        for u in g.nodes():
+            if truth[u] <= 2 * 10:
+                assert approx[u] != INFINITY
+
+    def test_no_sources(self):
+        g = graphs.path_graph(4)
+        assert all(v == INFINITY for v in approx_cssp(g, {}, 0.5, 10).values())
+
+    def test_invalid_eps(self):
+        g = graphs.path_graph(3)
+        with pytest.raises(ValueError):
+            approx_cssp(g, {0: 0}, 0.0, 10)
+        with pytest.raises(ValueError):
+            approx_cssp(g, {0: 0}, 1.0, 10)
+
+    def test_invalid_bound(self):
+        with pytest.raises(ValueError):
+            approx_cssp(graphs.path_graph(3), {0: 0}, 0.5, 0)
+
+
+class TestCutterCosts:
+    def test_congestion_constant(self):
+        g = graphs.random_connected_graph(40, seed=2)
+        g = graphs.random_weights(g, 100, seed=3)
+        m = Metrics()
+        approx_cssp(g, {0: 0}, 0.5, 2000, metrics=m)
+        assert m.max_congestion <= 1
+
+    def test_rounds_bounded_by_n_over_eps(self):
+        # Time O(W/q + n) = O(n / eps + n).
+        n = 40
+        g = graphs.random_weights(graphs.random_connected_graph(n, seed=5), 100, seed=6)
+        for eps in (0.5, 0.25):
+            m = Metrics()
+            bound = n * 100
+            approx_cssp(g, {0: 0}, eps, bound, metrics=m)
+            assert m.rounds <= 2 * bound / cutter_quantum(n, eps, bound) + 2 * n + 10
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.integers(min_value=3, max_value=20),
+    st.integers(min_value=0, max_value=10**6),
+    st.sampled_from([0.2, 0.5, 0.9]),
+    st.integers(min_value=2, max_value=400),
+)
+def test_property_cutter_sandwich(n, seed, eps, bound):
+    g = graphs.random_weights(graphs.random_connected_graph(n, seed=seed), 9, seed=seed)
+    truth = g.dijkstra([0])
+    approx = approx_cssp(g, {0: 0}, eps, bound)
+    for u in g.nodes():
+        if approx[u] != INFINITY:
+            assert truth[u] <= approx[u] < truth[u] + eps * bound + 1e-9
+        else:
+            assert truth[u] > 2 * bound

@@ -1,0 +1,173 @@
+"""Network decomposition (Thm 3.10 substrate): separation, coverage, trees."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import graphs
+from repro.energy.decomposition import build_decomposition
+from repro.energy.labeled_bfs import run_labeled_bfs
+from repro.graphs import Graph, INFINITY
+from repro.sim import Metrics
+
+
+def check_decomposition(g, k, deco):
+    """Assert all Theorem 3.10-style properties that must hold exactly."""
+    seen = {}
+    for cluster in deco.clusters:
+        for u in cluster.members:
+            assert u not in seen, f"{u!r} in two clusters"
+            seen[u] = cluster
+    assert set(seen) == set(g.nodes()), "decomposition must cover every node"
+    for color in deco.colors:
+        for i, a in enumerate(color):
+            others = set()
+            for b in color[i + 1:]:
+                others |= b.members
+            for u in a.members:
+                dist = g.dijkstra([u])
+                for v in others:
+                    assert dist[v] > k, f"separation {k} violated: {u!r}-{v!r}"
+    for cluster in deco.clusters:
+        forest = cluster.as_forest()  # raises on cycles
+        for u, p in cluster.tree_parent.items():
+            if p is not None:
+                assert g.has_edge(u, p)
+        assert cluster.root in cluster.tree_parent
+        for u in cluster.members:
+            assert u in cluster.tree_parent, "member missing from Steiner tree"
+
+
+class TestDecomposition:
+    @pytest.mark.parametrize(
+        "builder,k",
+        [
+            (lambda: graphs.path_graph(20), 2),
+            (lambda: graphs.cycle_graph(14), 3),
+            (lambda: graphs.grid_graph(5, 5), 3),
+            (lambda: graphs.balanced_tree(2, 4), 2),
+            (lambda: graphs.random_connected_graph(25, seed=3), 3),
+            (lambda: graphs.star_graph(15), 5),
+        ],
+    )
+    def test_families(self, builder, k):
+        g = builder()
+        check_decomposition(g, k, build_decomposition(g, k))
+
+    def test_weighted_separation(self):
+        g = graphs.random_weights(graphs.path_graph(15), 4, seed=2)
+        k = 6
+        check_decomposition(g, k, build_decomposition(g, k))
+
+    def test_radius_cap_respected(self):
+        g = graphs.path_graph(60)
+        cap = 8
+        deco = build_decomposition(g, 2, radius_cap=cap)
+        check_decomposition(g, 2, deco)
+        for cluster in deco.clusters:
+            dists = g.dijkstra([cluster.root])
+            for u in cluster.members:
+                assert dists[u] <= 2 * cap + 2
+
+    def test_radius_cap_yields_multiple_clusters(self):
+        g = graphs.path_graph(60)
+        deco = build_decomposition(g, 2, radius_cap=8)
+        assert len(deco.clusters) > 3
+
+    def test_color_count_reasonable(self):
+        g = graphs.random_connected_graph(40, seed=5)
+        deco = build_decomposition(g, 3, radius_cap=20)
+        assert len(deco.colors) <= 4 * 6 + 8
+
+    def test_empty_graph(self):
+        deco = build_decomposition(Graph(), 3)
+        assert deco.clusters == []
+
+    def test_singleton(self):
+        g = Graph()
+        g.add_node(0)
+        deco = build_decomposition(g, 3)
+        assert len(deco.clusters) == 1
+
+    def test_invalid_separation(self):
+        with pytest.raises(ValueError):
+            build_decomposition(graphs.path_graph(3), 0)
+
+    def test_deterministic(self):
+        g = graphs.random_connected_graph(20, seed=7)
+        a = build_decomposition(g, 3)
+        b = build_decomposition(g, 3)
+        assert [sorted(map(repr, c.members)) for c in a.clusters] == [
+            sorted(map(repr, c.members)) for c in b.clusters
+        ]
+
+    def test_cluster_of_mapping(self):
+        g = graphs.grid_graph(4, 4)
+        deco = build_decomposition(g, 2)
+        mapping = deco.cluster_of()
+        assert set(mapping) == set(g.nodes())
+
+    def test_edge_tree_load_reported(self):
+        g = graphs.path_graph(30)
+        deco = build_decomposition(g, 2, radius_cap=6)
+        load = deco.edge_tree_load()
+        assert all(v >= 1 for v in load.values())
+
+    def test_metrics_accumulate(self):
+        g = graphs.path_graph(20)
+        m = Metrics()
+        build_decomposition(g, 2, metrics=m)
+        assert m.rounds > 0 and m.total_messages > 0
+
+
+class TestLabeledBFS:
+    def test_nearest_label_assignment(self):
+        g = graphs.path_graph(11)
+        out = run_labeled_bfs(g, {0: "L", 10: "R"}, 10)
+        assert out[2][1] == "L" and out[8][1] == "R"
+        assert out[3][0] == 3
+
+    def test_tie_breaks_by_label_key(self):
+        g = graphs.path_graph(5)
+        out = run_labeled_bfs(g, {0: "A", 4: "B"}, 10)
+        assert out[2][1] == "A"  # equidistant; smaller label key wins
+
+    def test_threshold(self):
+        g = graphs.path_graph(10)
+        out = run_labeled_bfs(g, {0: "A"}, 3)
+        assert out[3][0] == 3
+        assert out[4][0] == INFINITY and out[4][1] is None
+
+    def test_parents_point_to_source(self):
+        g = graphs.grid_graph(4, 4)
+        out = run_labeled_bfs(g, {0: "A"}, 20)
+        for u in g.nodes():
+            dist, label, parent, hops = out[u]
+            if u == 0:
+                assert parent is None
+                continue
+            walker, steps = u, 0
+            while out[walker][2] is not None:
+                walker = out[walker][2]
+                steps += 1
+            assert walker == 0
+            assert steps == hops
+
+    def test_weighted_distances(self):
+        g = Graph.from_edges([(0, 1, 5), (1, 2, 1), (0, 2, 10)])
+        out = run_labeled_bfs(g, {0: "A"}, 100)
+        assert out[2][0] == 6
+
+    def test_congestion_one(self):
+        g = graphs.grid_graph(5, 5)
+        m = Metrics()
+        run_labeled_bfs(g, {0: "A", 24: "B"}, 20, metrics=m)
+        assert m.max_congestion <= 1
+
+
+@settings(max_examples=12, deadline=None)
+@given(st.integers(min_value=2, max_value=16), st.integers(min_value=0, max_value=10**6))
+def test_property_decomposition_covers_and_separates(n, seed):
+    g = graphs.random_connected_graph(n, seed=seed)
+    k = 2
+    deco = build_decomposition(g, k)
+    check_decomposition(g, k, deco)

@@ -1,0 +1,156 @@
+"""Sleeping-model BFS (Thm 3.8) and cluster communication (Sec 3.1.1)."""
+
+import pytest
+
+from repro import graphs
+from repro.core.trees import bfs_forest
+from repro.energy.cluster_comm import run_periodic_aggregation
+from repro.energy.covers import build_layered_cover
+from repro.energy.low_energy_bfs import make_schedule, run_low_energy_bfs
+from repro.graphs import Graph, INFINITY
+from repro.sim import Metrics
+
+
+def energy_bfs(g, sources, threshold, **cover_kw):
+    cover = build_layered_cover(g, threshold, **cover_kw)
+    m = Metrics()
+    dist, sched = run_low_energy_bfs(g, cover, sources, threshold, metrics=m)
+    return dist, sched, m
+
+
+class TestPeriodicAggregation:
+    def test_aggregate_reaches_everyone(self):
+        g = graphs.path_graph(8)
+        forest = bfs_forest(g, roots=[0])
+        m = Metrics()
+        result = run_periodic_aggregation(
+            g, forest, {u: u for u in g.nodes()}, max, cycles=3, metrics=m
+        )
+        assert all(v == 7 for v in result.values())
+        assert m.lost_messages == 0
+
+    def test_energy_four_wakes_per_cycle(self):
+        g = graphs.path_graph(20)
+        forest = bfs_forest(g, roots=[0])
+        m = Metrics()
+        cycles = 5
+        run_periodic_aggregation(g, forest, {u: 1 for u in g.nodes()}, sum, cycles, metrics=m)
+        # At most 4 wakes per cycle plus the final halt wake.
+        assert m.max_energy <= 4 * cycles + 2
+
+    def test_updates_flow_between_cycles(self):
+        # The value folded each cycle is the node's *current* value; the
+        # protocol re-aggregates every cycle, which is what the BFS's
+        # "has the wave arrived yet" flags rely on.
+        g = graphs.path_graph(5)
+        forest = bfs_forest(g, roots=[0])
+        result = run_periodic_aggregation(
+            g, forest, {u: u == 3 for u in g.nodes()}, any, cycles=2
+        )
+        assert all(result.values())
+
+    def test_forest_with_multiple_trees(self):
+        g = Graph.from_edges([(0, 1), (2, 3)])
+        forest = bfs_forest(g)
+        result = run_periodic_aggregation(g, forest, {0: 1, 1: 2, 2: 5, 3: 6}, sum, 2)
+        assert result[0] == 3 and result[3] == 11
+
+
+class TestLowEnergyBFSCorrectness:
+    @pytest.mark.parametrize(
+        "builder",
+        [
+            lambda: graphs.path_graph(24),
+            lambda: graphs.cycle_graph(20),
+            lambda: graphs.grid_graph(5, 5),
+            lambda: graphs.balanced_tree(2, 4),
+            lambda: graphs.random_connected_graph(24, seed=2),
+            lambda: graphs.caterpillar_graph(8, 2),
+        ],
+    )
+    def test_exact_under_lossy_sleep(self, builder):
+        g = builder()
+        dist, sched, m = energy_bfs(g, {0: 0}, g.num_nodes, base=4, stretch=3)
+        truth = g.hop_distances([0])
+        assert dist == truth
+
+    def test_multi_source(self):
+        g = graphs.path_graph(20)
+        dist, _, _ = energy_bfs(g, {0: 0, 19: 0}, 20, base=4, stretch=3)
+        truth = g.hop_distances([0, 19])
+        assert dist == truth
+
+    def test_source_offsets(self):
+        g = graphs.path_graph(12)
+        dist, _, _ = energy_bfs(g, {0: 3, 11: 0}, 20, base=4, stretch=3)
+        for u in g.nodes():
+            assert dist[u] == min(3 + u, 11 - u)
+
+    def test_thresholded(self):
+        g = graphs.path_graph(30)
+        tau = 9
+        dist, _, _ = energy_bfs(g, {0: 0}, tau, base=4, stretch=3)
+        for u in g.nodes():
+            assert dist[u] == (u if u <= tau else INFINITY)
+
+    def test_weighted_graph(self):
+        g = graphs.random_weights(graphs.path_graph(12), 3, seed=4)
+        truth = g.dijkstra([0])
+        tau = int(max(truth.values()))
+        dist, _, _ = energy_bfs(g, {0: 0}, tau, base=4, stretch=3)
+        assert dist == truth
+
+    def test_weighted_random_graph(self):
+        g = graphs.random_weights(graphs.random_connected_graph(14, seed=6), 3, seed=7)
+        truth = g.dijkstra([0])
+        dist, _, _ = energy_bfs(g, {0: 0}, int(max(truth.values())), base=4, stretch=3)
+        assert dist == truth
+
+    def test_source_in_middle(self):
+        g = graphs.path_graph(21)
+        dist, _, _ = energy_bfs(g, {10: 0}, 21, base=4, stretch=3)
+        assert dist == {u: abs(u - 10) for u in g.nodes()}
+
+
+class TestLowEnergyBFSCosts:
+    def test_sleeping_mode_actually_sleeps(self):
+        g = graphs.path_graph(32)
+        dist, sched, m = energy_bfs(g, {0: 0}, 32, base=4, stretch=3)
+        # The whole point: no node is awake for more than a fraction of the
+        # execution (an always-awake node would have energy == rounds).
+        assert m.max_energy < m.rounds
+        assert m.max_energy > 0
+
+    def test_messages_are_lost_but_harmlessly(self):
+        # Desynchronized deactivations lose some tree messages; the BFS
+        # offers that define the output are never lost.
+        g = graphs.path_graph(32)
+        dist, sched, m = energy_bfs(g, {0: 0}, 32, base=4, stretch=3)
+        assert dist == g.hop_distances([0])
+
+    def test_rounds_scale_with_threshold_not_n(self):
+        g = graphs.path_graph(40)
+        _, sched_small, m_small = energy_bfs(g, {0: 0}, 5, base=4, stretch=3)
+        _, sched_big, m_big = energy_bfs(g, {0: 0}, 39, base=4, stretch=3)
+        assert m_small.rounds < m_big.rounds
+
+    def test_schedule_constants(self):
+        g = graphs.path_graph(24)
+        cover = build_layered_cover(g, 24, base=4, stretch=3)
+        sched = make_schedule(g, cover, 24)
+        assert sched.sigma >= 2
+        assert sched.omega >= 1
+        assert sched.t_end > sched.t0 > 0
+        assert sched.step_round(0) == sched.t0
+        assert sched.step_of(sched.t0 + sched.sigma) == 1
+
+    def test_energy_concentrated_near_bfs_route(self):
+        # Nodes far beyond the threshold stay near-idle after init.
+        g = graphs.path_graph(40)
+        tau = 6
+        cover = build_layered_cover(g, tau, base=4, stretch=3)
+        m = Metrics()
+        dist, sched = run_low_energy_bfs(g, cover, {0: 0}, tau, metrics=m)
+        near = max(m.energy_of(u) for u in range(5))
+        far = m.energy_of(39)
+        assert far <= near

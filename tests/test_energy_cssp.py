@@ -1,0 +1,108 @@
+"""From-scratch low-energy BFS (Thm 3.13/3.14) and energy CSSP (Thm 3.15)."""
+
+import pytest
+
+from conftest import assert_distances_equal, oracle_distances
+from repro import graphs
+from repro.energy import energy_approx_cssp, energy_cssp, low_energy_bfs_from_scratch
+from repro.graphs import Graph, INFINITY
+from repro.sim import Metrics
+
+
+class TestFromScratchBFS:
+    def test_path(self):
+        g = graphs.path_graph(20)
+        dist, cover = low_energy_bfs_from_scratch(g, {0: 0})
+        assert dist == g.hop_distances([0])
+
+    def test_grid(self):
+        g = graphs.grid_graph(5, 5)
+        dist, _ = low_energy_bfs_from_scratch(g, {0: 0})
+        assert dist == g.hop_distances([0])
+
+    def test_random(self):
+        g = graphs.random_connected_graph(20, seed=3)
+        dist, _ = low_energy_bfs_from_scratch(g, {0: 0})
+        assert dist == g.hop_distances([0])
+
+    def test_thresholded(self):
+        g = graphs.path_graph(25)
+        dist, _ = low_energy_bfs_from_scratch(g, {0: 0}, threshold=7)
+        for u in g.nodes():
+            assert dist[u] == (u if u <= 7 else INFINITY)
+
+    def test_metrics_separated(self):
+        g = graphs.path_graph(16)
+        cm, qm = Metrics(), Metrics()
+        low_energy_bfs_from_scratch(
+            g, {0: 0}, construction_metrics=cm, query_metrics=qm
+        )
+        assert cm.rounds > 0 and qm.rounds > 0
+        assert qm.max_energy < qm.rounds  # query phase genuinely sleeps
+
+    def test_weights_ignored_for_bfs(self):
+        g = graphs.random_weights(graphs.path_graph(10), 9, seed=1)
+        dist, _ = low_energy_bfs_from_scratch(g, {0: 0})
+        assert dist == {u: u for u in g.nodes()}
+
+
+class TestEnergyCutter:
+    def test_lemma_guarantees(self):
+        g = graphs.random_weights(graphs.random_connected_graph(12, seed=2), 5, seed=3)
+        truth = g.dijkstra([0])
+        bound = 20
+        eps = 0.5
+        approx = energy_approx_cssp(g, {0: 0}, eps, bound)
+        for u in g.nodes():
+            if approx[u] != INFINITY:
+                assert truth[u] <= approx[u] < truth[u] + eps * bound + 1e-9
+            else:
+                assert truth[u] > 2 * bound
+
+    def test_no_sources(self):
+        g = graphs.path_graph(4)
+        out = energy_approx_cssp(g, {}, 0.5, 5)
+        assert all(v == INFINITY for v in out.values())
+
+
+class TestEnergyCSSP:
+    def test_exact_small_random(self):
+        for seed in range(3):
+            g = graphs.random_weights(
+                graphs.random_connected_graph(12, seed=seed), 5, seed=seed + 9
+            )
+            d, m = energy_cssp(g, {0: 0})
+            assert_distances_equal(d, g.dijkstra([0]), f"seed {seed}")
+
+    def test_exact_path(self):
+        g = graphs.random_weights(graphs.path_graph(14), 4, seed=11)
+        d, _ = energy_cssp(g, {0: 0})
+        assert_distances_equal(d, g.dijkstra([0]), "path")
+
+    def test_multi_source_offsets(self):
+        g = graphs.random_weights(graphs.random_connected_graph(10, seed=5), 4, seed=6)
+        sources = {0: 3, 9: 0}
+        d, _ = energy_cssp(g, sources)
+        assert_distances_equal(d, oracle_distances(g, sources), "offsets")
+
+    def test_unweighted(self):
+        g = graphs.grid_graph(3, 4)
+        d, _ = energy_cssp(g, [0])
+        assert_distances_equal(d, g.hop_distances([0]), "grid")
+
+    def test_zero_weights_rejected(self):
+        g = Graph.from_edges([(0, 1, 0)])
+        with pytest.raises(ValueError):
+            energy_cssp(g, {0: 0})
+
+    def test_empty_and_sourceless(self):
+        d, _ = energy_cssp(Graph(), {})
+        assert d == {}
+        g = graphs.path_graph(3)
+        d, _ = energy_cssp(g, {})
+        assert all(v == INFINITY for v in d.values())
+
+    def test_disconnected(self):
+        g = Graph.from_edges([(0, 1, 2), (2, 3, 1)])
+        d, _ = energy_cssp(g, {0: 0})
+        assert d[1] == 2 and d[2] == INFINITY

@@ -1,0 +1,90 @@
+"""Property-based tests for the energy stack: the strongest guarantees.
+
+These hypothesis suites hammer the sleeping-model BFS and the structures it
+depends on with random small instances.  Exactness under *lossy* message
+semantics is the library's deepest invariant — any scheduling bug anywhere
+in the cover/activation machinery surfaces here as a wrong distance.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro import graphs
+from repro.energy import (
+    build_layered_cover,
+    build_sparse_cover,
+    validate_layered_cover,
+    validate_sparse_cover,
+)
+from repro.energy.low_energy_bfs import run_low_energy_bfs
+from repro.sim import Metrics
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(min_value=2, max_value=18), st.integers(min_value=0, max_value=10**6))
+def test_property_energy_bfs_exact_on_random_graphs(n, seed):
+    g = graphs.random_connected_graph(n, seed=seed)
+    cover = build_layered_cover(g, n, base=4, stretch=3)
+    m = Metrics()
+    dist, _ = run_low_energy_bfs(g, cover, {0: 0}, n, metrics=m)
+    assert dist == g.hop_distances([0])
+
+
+@settings(max_examples=8, deadline=None)
+@given(
+    st.integers(min_value=3, max_value=14),
+    st.integers(min_value=0, max_value=10**6),
+    st.integers(min_value=1, max_value=4),
+)
+def test_property_energy_bfs_exact_weighted(n, seed, max_w):
+    g = graphs.random_weights(graphs.random_connected_graph(n, seed=seed), max_w, seed=seed)
+    truth = g.dijkstra([0])
+    tau = int(max(truth.values()))
+    cover = build_layered_cover(g, tau, base=4, stretch=3)
+    dist, _ = run_low_energy_bfs(g, cover, {0: 0}, tau)
+    assert dist == truth
+
+
+@settings(max_examples=8, deadline=None)
+@given(
+    st.integers(min_value=4, max_value=16),
+    st.integers(min_value=0, max_value=10**6),
+    st.integers(min_value=0, max_value=10),
+)
+def test_property_energy_bfs_thresholds(n, seed, tau):
+    g = graphs.random_connected_graph(n, seed=seed)
+    truth = g.hop_distances([0])
+    cover = build_layered_cover(g, max(1, tau), base=4, stretch=3)
+    dist, _ = run_low_energy_bfs(g, cover, {0: 0}, tau)
+    for u in g.nodes():
+        expected = truth[u] if truth[u] <= tau else float("inf")
+        assert dist[u] == expected
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    st.integers(min_value=2, max_value=20),
+    st.integers(min_value=0, max_value=10**6),
+    st.integers(min_value=1, max_value=3),
+)
+def test_property_sparse_cover_valid(n, seed, d):
+    g = graphs.random_connected_graph(n, seed=seed)
+    cover = build_sparse_cover(g, d, stretch=3)
+    validate_sparse_cover(g, cover)
+
+
+@settings(max_examples=8, deadline=None)
+@given(st.integers(min_value=2, max_value=16), st.integers(min_value=0, max_value=10**6))
+def test_property_layered_cover_valid(n, seed):
+    g = graphs.random_connected_graph(n, seed=seed)
+    layered = build_layered_cover(g, n, base=4, stretch=3)
+    validate_layered_cover(g, layered)
+
+
+@settings(max_examples=6, deadline=None)
+@given(st.integers(min_value=3, max_value=12), st.integers(min_value=0, max_value=10**6))
+def test_property_energy_cssp_exact(n, seed):
+    from repro.energy import energy_cssp
+
+    g = graphs.random_weights(graphs.random_connected_graph(n, seed=seed), 4, seed=seed)
+    d, _ = energy_cssp(g, {0: 0})
+    assert d == g.dijkstra([0])

@@ -1,0 +1,160 @@
+"""Routing trees, path extraction, and distributed distance verification."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from conftest import small_weighted_graph
+from repro import graphs, cssp
+from repro.core.paths import (
+    build_shortest_path_tree,
+    extract_path,
+    verify_distances,
+)
+from repro.graphs import Graph, INFINITY
+from repro.sim import Metrics
+
+
+class TestRoutingTree:
+    def test_parents_support_distances(self):
+        g = small_weighted_graph(20, 1)
+        dist = g.dijkstra([0])
+        tree = build_shortest_path_tree(g, dist, {0: 0})
+        for v in g.nodes():
+            p = tree.parent[v]
+            if v == 0 or dist[v] == INFINITY:
+                assert p is None
+            else:
+                assert dist[v] == dist[p] + g.weight(v, p)
+
+    def test_path_extraction_lengths(self):
+        g = small_weighted_graph(18, 2)
+        dist = g.dijkstra([0])
+        tree = build_shortest_path_tree(g, dist, {0: 0})
+        for v in g.nodes():
+            if dist[v] == INFINITY:
+                continue
+            path = extract_path(tree, v)
+            assert path[0] == v and path[-1] == 0
+            total = sum(g.weight(a, b) for a, b in zip(path, path[1:]))
+            assert total == dist[v]
+
+    def test_multi_source_paths_end_at_some_source(self):
+        g = graphs.path_graph(11)
+        dist = g.dijkstra([0, 10])
+        tree = build_shortest_path_tree(g, dist, {0: 0, 10: 0})
+        for v in g.nodes():
+            assert extract_path(tree, v)[-1] in (0, 10)
+
+    def test_unreachable_path_raises(self):
+        g = Graph.from_edges([(0, 1, 2)], nodes=[5])
+        dist = g.dijkstra([0])
+        tree = build_shortest_path_tree(g, dist, {0: 0})
+        with pytest.raises(ValueError):
+            extract_path(tree, 5)
+
+    def test_inconsistent_distances_rejected(self):
+        g = graphs.path_graph(4)
+        bogus = {0: 0, 1: 1, 2: 5, 3: 6}  # node 2 unsupported
+        with pytest.raises(ValueError):
+            build_shortest_path_tree(g, bogus, {0: 0})
+
+    def test_deterministic_tie_break(self):
+        g = Graph.from_edges([(0, 1, 1), (0, 2, 1), (1, 3, 1), (2, 3, 1)])
+        dist = g.dijkstra([0])
+        a = build_shortest_path_tree(g, dist, {0: 0})
+        b = build_shortest_path_tree(g, dist, {0: 0})
+        assert a.parent == b.parent
+
+    def test_tree_from_cssp_output(self):
+        g = small_weighted_graph(16, 3)
+        d, _ = cssp(g, {0: 0})
+        tree = build_shortest_path_tree(g, d, {0: 0})
+        forest = tree.as_forest()
+        assert forest.root_of[5] == 0
+
+    def test_one_exchange_round_cost(self):
+        g = graphs.grid_graph(4, 4)
+        dist = g.hop_distances([0])
+        m = Metrics()
+        build_shortest_path_tree(g, dist, {0: 0}, metrics=m)
+        assert m.max_congestion <= 1
+        assert m.rounds <= 2
+
+
+class TestVerification:
+    def test_accepts_correct_distances(self):
+        g = small_weighted_graph(20, 4)
+        report = verify_distances(g, {0: 0}, g.dijkstra([0]))
+        assert report.valid and bool(report)
+
+    def test_accepts_offsets(self):
+        from conftest import oracle_distances
+
+        g = small_weighted_graph(15, 5)
+        sources = {0: 4, 7: 0}
+        report = verify_distances(g, sources, oracle_distances(g, sources))
+        assert report.valid
+
+    def test_detects_tense_edge(self):
+        g = graphs.path_graph(4)
+        bogus = {0: 0, 1: 1, 2: 9, 3: 10}
+        report = verify_distances(g, {0: 0}, bogus)
+        assert not report.valid
+        assert report.tense_edges
+
+    def test_detects_unsupported_node(self):
+        g = Graph.from_edges([(0, 1, 5)])
+        bogus = {0: 0, 1: 3}  # too small: 1 is tense-free but unsupported
+        report = verify_distances(g, {0: 0}, bogus)
+        assert not report.valid
+        assert report.unsupported_nodes
+
+    def test_detects_bad_source(self):
+        g = graphs.path_graph(3)
+        bogus = {0: 2, 1: 3, 2: 4}
+        report = verify_distances(g, {0: 0}, bogus)
+        assert not report.valid
+        assert report.bad_sources
+
+    def test_detects_false_infinity(self):
+        g = graphs.path_graph(3)
+        bogus = {0: 0, 1: 1, 2: INFINITY}
+        report = verify_distances(g, {0: 0}, bogus)
+        assert not report.valid
+        assert report.tense_edges  # finite neighbor makes the inf edge tense
+
+    def test_verifies_every_library_algorithm(self):
+        from repro import run_bellman_ford, sssp
+        from repro.energy import energy_cssp
+
+        g = small_weighted_graph(14, 6)
+        assert verify_distances(g, {0: 0}, sssp(g, 0).distances).valid
+        assert verify_distances(g, {0: 0}, run_bellman_ford(g, 0)).valid
+        assert verify_distances(g, {0: 0}, energy_cssp(g, {0: 0})[0]).valid
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(min_value=2, max_value=16), st.integers(min_value=0, max_value=10**6))
+def test_property_tree_paths_realize_distances(n, seed):
+    g = graphs.random_weights(graphs.random_connected_graph(n, seed=seed), 7, seed=seed)
+    dist = g.dijkstra([0])
+    tree = build_shortest_path_tree(g, dist, {0: 0})
+    for v in g.nodes():
+        path = extract_path(tree, v)
+        assert sum(g.weight(a, b) for a, b in zip(path, path[1:])) == dist[v]
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(min_value=2, max_value=14), st.integers(min_value=0, max_value=10**6))
+def test_property_verifier_rejects_perturbations(n, seed):
+    import random as _random
+
+    g = graphs.random_weights(graphs.random_connected_graph(n, seed=seed), 7, seed=seed)
+    dist = dict(g.dijkstra([0]))
+    rng = _random.Random(seed)
+    victim = rng.choice([u for u in g.nodes() if u != 0])
+    dist[victim] += rng.choice([-1, 1, 5])
+    if dist[victim] < 0:
+        dist[victim] = 0
+    report = verify_distances(g, {0: 0}, dist)
+    assert not report.valid
