@@ -1,0 +1,36 @@
+"""Shared infrastructure for the experiment benchmarks.
+
+Every benchmark (a) runs its experiment sweep exactly once under
+``pytest-benchmark`` so wall-clock cost is tracked, (b) renders the table
+the paper's evaluation section would contain and appends it to
+``benchmarks/results/<experiment>.txt``, and (c) asserts the claim's
+*shape* (who wins, how things scale) rather than absolute numbers.
+
+This is a plain module (imported as ``from _bench import ...``) rather than
+conftest magic: ``from conftest import ...`` binds to whichever conftest
+pytest happened to import first, which broke collection when ``tests/`` and
+``benchmarks/`` were collected together.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.analysis import render_table
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def record_table(experiment: str, title: str, headers: list, rows: list) -> str:
+    """Render, persist and return an experiment table."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    text = render_table(title, headers, rows)
+    out = RESULTS_DIR / f"{experiment}.txt"
+    out.write_text(text + "\n")
+    print("\n" + text)
+    return text
+
+
+def run_once(benchmark, fn):
+    """Execute ``fn`` exactly once under the benchmark timer."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

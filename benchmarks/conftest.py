@@ -1,31 +1,26 @@
-"""Shared infrastructure for the experiment benchmarks.
+"""Benchmark collection config: everything here carries the ``bench`` marker.
 
-Every benchmark (a) runs its experiment sweep exactly once under
-``pytest-benchmark`` so wall-clock cost is tracked, (b) renders the table
-the paper's evaluation section would contain and appends it to
-``benchmarks/results/<experiment>.txt``, and (c) asserts the claim's
-*shape* (who wins, how things scale) rather than absolute numbers.
+The root ``pyproject.toml`` deselects ``bench`` by default so tier-1 test
+runs stay fast; run the benchmarks explicitly with::
+
+    PYTHONPATH=src python -m pytest benchmarks -m bench --benchmark-only
+
+Shared helpers live in ``_bench.py`` (a plain importable module).
 """
 
 from __future__ import annotations
 
+import sys
 from pathlib import Path
 
-from repro.analysis import render_table
-
-RESULTS_DIR = Path(__file__).parent / "results"
-
-
-def record_table(experiment: str, title: str, headers: list, rows: list) -> str:
-    """Render, persist and return an experiment table."""
-    RESULTS_DIR.mkdir(exist_ok=True)
-    text = render_table(title, headers, rows)
-    out = RESULTS_DIR / f"{experiment}.txt"
-    out.write_text(text + "\n")
-    print("\n" + text)
-    return text
+# Make `from _bench import ...` robust no matter which rootdir pytest picked.
+sys.path.insert(0, str(Path(__file__).parent))
 
 
-def run_once(benchmark, fn):
-    """Execute ``fn`` exactly once under the benchmark timer."""
-    return benchmark.pedantic(fn, rounds=1, iterations=1)
+def pytest_collection_modifyitems(items):
+    # This hook sees every collected item, including tests/ when both trees
+    # are collected in one run — mark only the items that live here.
+    here = Path(__file__).parent
+    for item in items:
+        if Path(item.fspath).is_relative_to(here):
+            item.add_marker("bench")

@@ -6,7 +6,7 @@
 * send-on-change Bellman-Ford: the folk optimization's message savings.
 """
 
-from conftest import record_table, run_once
+from _bench import record_table, run_once
 from repro import graphs, cssp, run_bellman_ford
 from repro.energy.covers import build_layered_cover
 from repro.energy.low_energy_bfs import run_low_energy_bfs

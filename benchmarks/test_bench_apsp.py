@@ -6,7 +6,7 @@ against the sequential sum and check the per-slot load stays within the
 O(log n) capacity.
 """
 
-from conftest import record_table, run_once
+from _bench import record_table, run_once
 from repro import graphs, apsp
 from repro.analysis import fit_power_law
 

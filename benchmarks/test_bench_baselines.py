@@ -5,7 +5,7 @@ time is worst (O(nD)); Bellman-Ford's congestion is worst (Theta(n));
 the recursion's congestion wins on dense graphs while staying ~O(n) time.
 """
 
-from conftest import record_table, run_once
+from _bench import record_table, run_once
 from repro import graphs, sssp, run_bellman_ford, run_distributed_dijkstra
 from repro.sim import Metrics
 

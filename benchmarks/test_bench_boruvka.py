@@ -1,7 +1,7 @@
 """E10 — Theorem 2.2/3.1: Boruvka forest in O(n log n) time, polylog congestion,
 and low awake time (the Thm 3.1 energy profile)."""
 
-from conftest import record_table, run_once
+from _bench import record_table, run_once
 from repro import graphs, build_maximal_forest
 from repro.analysis import fit_power_law
 from repro.core.boruvka import boruvka_round_bound

@@ -6,7 +6,7 @@ every round); CSSP's must grow far slower (polylog, i.e. a small power at
 this scale).
 """
 
-from conftest import record_table, run_once
+from _bench import record_table, run_once
 from repro import graphs, cssp, run_bellman_ford
 from repro.analysis import fit_power_law
 from repro.sim import Metrics

@@ -5,7 +5,7 @@ implementation in the library over a battery of graph families.  All
 entries must be 100%.
 """
 
-from conftest import record_table, run_once
+from _bench import record_table, run_once
 from repro import graphs, sssp, run_bellman_ford, run_distributed_dijkstra
 from repro.energy import energy_cssp, low_energy_bfs_from_scratch
 

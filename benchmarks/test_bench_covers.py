@@ -5,7 +5,7 @@ max Steiner-tree load per edge (claim: polylog), cover stretch
 (tree radius / d), and construction cost.
 """
 
-from conftest import record_table, run_once
+from _bench import record_table, run_once
 from repro import graphs
 from repro.analysis import fit_power_law
 from repro.energy.covers import build_sparse_cover

@@ -5,7 +5,7 @@ exponent is consistent with ``~O(n)`` (b between ~0.7 and ~1.6 — the
 log^2 n factor shows up as mild super-linearity at small scale).
 """
 
-from conftest import record_table, run_once
+from _bench import record_table, run_once
 from repro import graphs, cssp
 from repro.analysis import fit_power_law
 from repro.sim import Metrics

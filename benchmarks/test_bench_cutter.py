@@ -1,6 +1,6 @@
 """E9 — Lemma 2.1: cutter guarantees, time O(n/eps), congestion O(1)."""
 
-from conftest import record_table, run_once
+from _bench import record_table, run_once
 from repro import graphs, approx_cssp
 from repro.graphs import INFINITY
 from repro.sim import Metrics

@@ -10,7 +10,7 @@ Two tables:
   versus the always-awake baseline whose awake time *is* D.
 """
 
-from conftest import record_table, run_once
+from _bench import record_table, run_once
 from repro import graphs
 from repro.analysis import fit_power_law
 from repro.energy.covers import build_layered_cover

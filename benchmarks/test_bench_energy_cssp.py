@@ -5,7 +5,7 @@ Checks exactness and that the sleeping-model execution actually sleeps
 small n sweep — the full recursive stack is simulation-heavy.
 """
 
-from conftest import record_table, run_once
+from _bench import record_table, run_once
 from repro import graphs
 from repro.energy import energy_cssp
 from repro.sim import Metrics

@@ -4,7 +4,7 @@ Fixes n and sweeps density; the paper claims ~O(m) messages for SSSP
 (vs Theta(m n) for naive Bellman-Ford).
 """
 
-from conftest import record_table, run_once
+from _bench import record_table, run_once
 from repro import graphs, cssp, run_bellman_ford
 from repro.analysis import linear_regression
 from repro.sim import Metrics

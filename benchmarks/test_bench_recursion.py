@@ -6,7 +6,7 @@ checks max per-node participation grows with log D, not with D.
 
 import math
 
-from conftest import record_table, run_once
+from _bench import record_table, run_once
 from repro import graphs, cssp
 from repro.analysis import linear_regression
 from repro.core.cssp import distance_upper_bound

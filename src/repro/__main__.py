@@ -10,6 +10,16 @@ Commands
 ``report [results_dir] [output]``
     Compile the recorded benchmark tables into one Markdown report
     (defaults: ``benchmarks/results`` -> stdout).
+``sweep [options]``
+    Run a registered experiment sweep (scenario registry x sizes x seeds)
+    across worker processes and print the tidy result table.
+
+    Options: ``--scenarios a,b`` (default: all registered),
+    ``--sizes 16,32,48``, ``--seeds 0``, ``--workers N`` (default 1),
+    ``--fit`` (append per-scenario power-law fits of rounds vs n),
+    ``--smoke`` (fixed tiny sweep for CI; ignores the other selectors),
+    ``--output PATH`` (write a Markdown report instead of printing),
+    ``--list`` (print the registered scenario names and exit).
 """
 
 from __future__ import annotations
@@ -70,6 +80,81 @@ def _cmd_report(argv: list[str]) -> int:
     return 0
 
 
+def _cmd_sweep(argv: list[str]) -> int:
+    from repro.analysis.sweeps import fit_sweep, sweep_report, sweep_table
+    from repro.sim.experiments import list_scenarios, run_sweep, smoke_sweep
+
+    options = {
+        "scenarios": None,
+        "sizes": (16, 32, 48),
+        "seeds": (0,),
+        "workers": 1,
+        "fit": False,
+        "smoke": False,
+        "output": None,
+    }
+    it = iter(argv)
+    for arg in it:
+        value_of = {"--scenarios", "--sizes", "--seeds", "--workers", "--output"}
+        value = next(it, None) if arg in value_of else None
+        if arg in value_of and value is None:
+            print(f"sweep option {arg} requires a value", file=sys.stderr)
+            return 2
+        try:
+            if arg == "--smoke":
+                options["smoke"] = True
+            elif arg == "--fit":
+                options["fit"] = True
+            elif arg == "--scenarios":
+                options["scenarios"] = value.split(",")
+            elif arg == "--sizes":
+                options["sizes"] = tuple(int(x) for x in value.split(","))
+            elif arg == "--seeds":
+                options["seeds"] = tuple(int(x) for x in value.split(","))
+            elif arg == "--workers":
+                options["workers"] = int(value)
+            elif arg == "--output":
+                options["output"] = value
+            elif arg == "--list":
+                for name in list_scenarios():
+                    print(name)
+                return 0
+            else:
+                print(f"unknown sweep option {arg!r}", file=sys.stderr)
+                return 2
+        except ValueError:
+            print(f"sweep option {arg}: expected integers, got {value!r}", file=sys.stderr)
+            return 2
+
+    from repro.sim.experiments import SweepError
+
+    try:
+        if options["smoke"]:
+            rows = smoke_sweep(workers=options["workers"])
+            title = "smoke sweep"
+        else:
+            rows = run_sweep(
+                options["scenarios"],
+                sizes=options["sizes"],
+                seeds=options["seeds"],
+                workers=options["workers"],
+            )
+            title = "experiment sweep"
+    except SweepError as exc:
+        print(f"sweep error: {exc}", file=sys.stderr)
+        return 2
+
+    if options["output"]:
+        Path(options["output"]).write_text(sweep_report(rows, title=title))
+        print(f"wrote {options['output']} ({len(rows)} runs)")
+        return 0
+    print(sweep_table(rows, title=title))
+    if options["fit"]:
+        for scenario, fit in sorted(fit_sweep(rows).items()):
+            print(f"fit {scenario}: rounds ~ n^{fit.exponent:.2f} (r2={fit.r2:.3f})")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     if not argv or argv[0] in ("-h", "--help"):
@@ -82,7 +167,9 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_demo(rest)
     if command == "report":
         return _cmd_report(rest)
-    print(f"unknown command {command!r}; try: info, demo, report", file=sys.stderr)
+    if command == "sweep":
+        return _cmd_sweep(rest)
+    print(f"unknown command {command!r}; try: info, demo, report, sweep", file=sys.stderr)
     return 2
 
 

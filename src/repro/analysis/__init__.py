@@ -1,6 +1,7 @@
 """Analysis toolkit: scaling-law fits and experiment table rendering."""
 
 from .fits import PowerFit, compare_models, fit_polylog, fit_power_law, linear_regression
+from .sweeps import fit_sweep, sweep_report, sweep_table
 from .tables import render_table
 
 __all__ = [
@@ -8,6 +9,9 @@ __all__ = [
     "compare_models",
     "fit_polylog",
     "fit_power_law",
+    "fit_sweep",
     "linear_regression",
     "render_table",
+    "sweep_report",
+    "sweep_table",
 ]

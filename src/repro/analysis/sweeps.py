@@ -1,0 +1,63 @@
+"""Table rendering and scaling-law fits for experiment-sweep rows.
+
+Bridges :func:`repro.sim.experiments.run_sweep` (tidy rows) to the analysis
+toolkit: :func:`sweep_table` renders the rows as the usual monospace
+experiment table, :func:`fit_sweep` fits a power law ``y = a * n^b`` per
+scenario (averaging over seeds at each size), and :func:`sweep_report`
+stitches both into one Markdown section — the same shape the recorded
+benchmark tables feed into :mod:`repro.analysis.report`.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from .fits import PowerFit, fit_power_law
+from .tables import render_table
+
+__all__ = ["sweep_table", "fit_sweep", "sweep_report"]
+
+
+def sweep_table(rows: list[dict], title: str = "experiment sweep") -> str:
+    """Render sweep rows as an aligned table in :data:`ROW_FIELDS` order."""
+    from ..sim.experiments import ROW_FIELDS
+
+    body = [[row[field] for field in ROW_FIELDS] for row in rows]
+    return render_table(title, list(ROW_FIELDS), body)
+
+
+def fit_sweep(rows: list[dict], y: str = "rounds") -> dict[str, PowerFit]:
+    """Per-scenario power-law fit of column ``y`` against ``n``.
+
+    Rows are grouped by scenario; multiple seeds at one size are averaged
+    before fitting.  Scenarios with fewer than two distinct sizes are
+    skipped (a fit needs a sweep).
+    """
+    grouped: dict[str, dict[int, list[float]]] = defaultdict(lambda: defaultdict(list))
+    for row in rows:
+        grouped[row["scenario"]][row["n"]].append(float(row[y]))
+    fits: dict[str, PowerFit] = {}
+    for scenario, by_n in grouped.items():
+        if len(by_n) < 2:
+            continue
+        ns = sorted(by_n)
+        ys = [sum(by_n[n]) / len(by_n[n]) for n in ns]
+        if min(ys) <= 0:
+            continue
+        fits[scenario] = fit_power_law(ns, ys)
+    return fits
+
+
+def sweep_report(rows: list[dict], title: str = "experiment sweep", y: str = "rounds") -> str:
+    """Markdown report: the sweep table plus per-scenario scaling fits."""
+    sections = [f"## {title}\n", "```", sweep_table(rows, title), "```\n"]
+    fits = fit_sweep(rows, y=y)
+    if fits:
+        sections.append(f"Power-law fits of `{y}` vs `n`:\n")
+        for scenario in sorted(fits):
+            fit = fits[scenario]
+            sections.append(
+                f"- `{scenario}`: {y} ~ n^{fit.exponent:.2f} (r2={fit.r2:.3f})"
+            )
+        sections.append("")
+    return "\n".join(sections)

@@ -253,18 +253,24 @@ class BoruvkaNode(NodeAlgorithm):
         if self.complete:
             ctx.wake_at(phase_start + 4 * self.segment + 2)
             return
-        boundaries = [
-            phase_start + self.segment,
-            phase_start + 2 * self.segment,
-            phase_start + 4 * self.segment,
-            phase_start + self.phase_len,  # next phase's offset 0
-        ]
+        segment = self.segment
+        nxt = phase_start + self.phase_len  # next phase's offset 0; always > r
+        for b in (
+            phase_start + segment,
+            phase_start + 2 * segment,
+            phase_start + 4 * segment,
+        ):
+            if r < b < nxt:
+                nxt = b
         if self.parent is None:
-            boundaries.append(phase_start + 3 * self.segment)
+            b = phase_start + 3 * segment
+            if r < b < nxt:
+                nxt = b
         if self._sent_join_to is not None:
-            boundaries.append(phase_start + 4 * self.segment + 1)
-        future = [b for b in boundaries if b > r]
-        ctx.wake_at(min(future))
+            b = phase_start + 4 * segment + 1
+            if r < b < nxt:
+                nxt = b
+        ctx.wake_at(nxt)
 
     # Non-core endpoint: after sending a join at 4*seg we must learn by
     # 4*seg + 1 whether the partner fragment chose the same edge (its join

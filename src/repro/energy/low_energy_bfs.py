@@ -337,16 +337,20 @@ class LowEnergyBFSNode(NodeAlgorithm):
             # Safety net: a pending candidate always keeps the step wakes
             # (the activation invariant should make this redundant).
             return True
-        return any(
-            role.level == 0
-            and role.is_member
-            and role.active_from is not None
-            and not role.deactivated
-            for role in self.roles
-        )
+        for role in self.roles:
+            if (
+                role.level == 0
+                and role.is_member
+                and role.active_from is not None
+                and not role.deactivated
+            ):
+                return True
+        return False
 
     def _schedule_next(self, ctx: Context, r: int) -> None:
-        candidates = [self.sched.t_end]
+        # Hot path (one call per awake node per round): track the earliest
+        # future candidate directly instead of materializing them all.
+        nxt = self.sched.t_end if self.sched.t_end > r else None
         if r < self.sched.t0:
             for role in self.roles:
                 depth_max = self.sched.tree_depth[role.level]
@@ -356,9 +360,10 @@ class LowEnergyBFSNode(NodeAlgorithm):
                     depth_max + role.depth,
                     depth_max + role.depth + 1,
                 ):
-                    if slot > r:
-                        candidates.append(slot)
-            candidates.append(self.sched.t0)
+                    if slot > r and (nxt is None or slot < nxt):
+                        nxt = slot
+            if self.sched.t0 > r and (nxt is None or self.sched.t0 < nxt):
+                nxt = self.sched.t0
         else:
             rel = r - self.sched.t0
             for role in self.roles:
@@ -377,15 +382,17 @@ class LowEnergyBFSNode(NodeAlgorithm):
                         depth_max + role.depth + 1,
                     ):
                         slot = cycle_base + slot_offset
-                        if slot > r:
-                            candidates.append(slot)
+                        if slot > r and (nxt is None or slot < nxt):
+                            nxt = slot
             if self._bfs_awake():
                 next_step = self.sched.t0 + ((rel // self.sched.sigma) + 1) * self.sched.sigma
-                candidates.append(next_step)
+                if next_step > r and (nxt is None or next_step < nxt):
+                    nxt = next_step
         for send_round in self._sends:
-            if send_round > r:
-                candidates.append(send_round)
-        nxt = min(c for c in candidates if c > r)
+            if send_round > r and (nxt is None or send_round < nxt):
+                nxt = send_round
+        if nxt is None:
+            raise ValueError("no future wake candidate")
         ctx.wake_at(nxt)
 
 

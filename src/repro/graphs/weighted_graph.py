@@ -39,6 +39,9 @@ class Graph:
     def __init__(self) -> None:
         self._adj: dict[object, dict[object, int]] = {}
         self._num_edges = 0
+        # Cached frozen CSR view (see repro.graphs.indexed); dropped on any
+        # mutation so IndexedGraph.of(self) never returns a stale snapshot.
+        self._indexed_view = None
 
     # ------------------------------------------------------------------
     # construction
@@ -47,6 +50,7 @@ class Graph:
         """Insert node ``u`` if absent."""
         if u not in self._adj:
             self._adj[u] = {}
+            self._indexed_view = None
 
     def add_edge(self, u: object, v: object, weight: int = 1) -> None:
         """Insert undirected edge ``{u, v}`` with the given integer weight.
@@ -63,6 +67,7 @@ class Graph:
         weight = int(weight)
         self.add_node(u)
         self.add_node(v)
+        self._indexed_view = None
         if v in self._adj[u]:
             keep = min(self._adj[u][v], weight)
             self._adj[u][v] = keep

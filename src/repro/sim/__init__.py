@@ -2,6 +2,16 @@
 
 from .metrics import Metrics
 from .runner import Context, Mode, NodeAlgorithm, Runner, SimulationError
+from .reference import ReferenceRunner
 from .trace import TracingMetrics
 
-__all__ = ["Metrics", "TracingMetrics", "Context", "Mode", "NodeAlgorithm", "Runner", "SimulationError"]
+__all__ = [
+    "Metrics",
+    "TracingMetrics",
+    "Context",
+    "Mode",
+    "NodeAlgorithm",
+    "Runner",
+    "ReferenceRunner",
+    "SimulationError",
+]

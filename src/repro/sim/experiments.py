@@ -1,0 +1,312 @@
+"""Scenario registry and parallel experiment orchestrator.
+
+Every result in the paper is a *metered execution*: run a protocol over a
+graph family at a sweep of sizes and read off the four complexity currencies
+(rounds, messages, congestion, energy).  This module turns that pattern into
+data:
+
+* a **scenario** is a named triple *(graph family x algorithm x params)* —
+  e.g. ``sssp/er`` is "the paper's SSSP on weighted random connected
+  graphs".  Scenarios live in a registry (:func:`register_scenario`,
+  :func:`get_scenario`, :func:`list_scenarios`) so new workloads are one
+  registration, not a new benchmark harness;
+* an **algorithm driver** adapts one library entry point to the uniform
+  ``driver(graph, seed, metrics)`` shape and *self-verifies* against the
+  sequential oracle where one exists (:func:`register_algorithm`);
+* :func:`run_sweep` fans the cross product *(scenario x size x seed)* across
+  ``multiprocessing`` workers — each run is independent and gets an explicit
+  per-run seed — and collects one tidy row per run.  The result table is a
+  pure function of the task list, so the same seeds yield an identical table
+  for any worker count (results come back in task order, timing fields are
+  deliberately excluded).
+
+The CLI front end is ``python -m repro sweep`` (``--smoke`` for the tiny CI
+entry); :mod:`repro.analysis.sweeps` renders tables and fits scaling laws
+over the rows.
+
+Example::
+
+    from repro.sim.experiments import run_sweep
+    rows = run_sweep(["sssp/er", "bellman-ford/er"], sizes=(16, 32, 64),
+                     seeds=(0, 1), workers=4)
+
+Notes on parallelism: workers are forked, so scenarios registered at import
+time (including any registered by your own modules before the sweep starts)
+are visible to them.  On platforms without ``fork`` the sweep silently runs
+sequentially — same rows, just slower.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from collections.abc import Callable, Iterable, Sequence
+from dataclasses import dataclass
+
+from ..graphs import generators
+from .metrics import Metrics
+
+__all__ = [
+    "Scenario",
+    "SweepError",
+    "register_algorithm",
+    "register_scenario",
+    "get_scenario",
+    "list_scenarios",
+    "list_algorithms",
+    "run_scenario",
+    "run_sweep",
+    "smoke_sweep",
+    "ROW_FIELDS",
+]
+
+#: Column order of a tidy sweep row (all deterministic — no wall-clock).
+ROW_FIELDS = (
+    "scenario",
+    "family",
+    "algorithm",
+    "n",
+    "m",
+    "seed",
+    "rounds",
+    "messages",
+    "lost_messages",
+    "congestion",
+    "energy",
+)
+
+
+class SweepError(RuntimeError):
+    """Raised for unknown scenarios/algorithms or in-run verification failures."""
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One registered workload: a graph family, an algorithm, and parameters.
+
+    ``family`` keys into :data:`repro.graphs.generators.FAMILIES`;
+    ``algorithm`` keys into the driver registry.  ``max_weight > 1`` gives
+    instances random integer weights in ``[1, max_weight]`` drawn from the
+    per-run seed, so every ``(size, seed)`` cell is a distinct instance.
+    ``params`` is a tuple of ``(key, value)`` pairs forwarded to the driver
+    (kept as a tuple so scenarios stay hashable and picklable).
+    """
+
+    name: str
+    family: str
+    algorithm: str
+    max_weight: int = 1
+    params: tuple = ()
+    description: str = ""
+
+    def build_graph(self, n: int, seed: int):
+        return generators.make_family(self.family, n, self.max_weight, seed=seed)
+
+
+_ALGORITHMS: dict[str, Callable] = {}
+_SCENARIOS: dict[str, Scenario] = {}
+
+
+def register_algorithm(name: str, driver: Callable) -> None:
+    """Register ``driver(graph, seed, metrics, **params)`` under ``name``."""
+    _ALGORITHMS[name] = driver
+
+
+def register_scenario(scenario: Scenario) -> Scenario:
+    """Add ``scenario`` to the registry (replacing any same-named entry)."""
+    if scenario.family not in generators.FAMILIES:
+        raise SweepError(
+            f"scenario {scenario.name!r}: unknown family {scenario.family!r} "
+            f"(options: {sorted(generators.FAMILIES)})"
+        )
+    if scenario.algorithm not in _ALGORITHMS:
+        raise SweepError(
+            f"scenario {scenario.name!r}: unknown algorithm {scenario.algorithm!r} "
+            f"(options: {sorted(_ALGORITHMS)})"
+        )
+    _SCENARIOS[scenario.name] = scenario
+    return scenario
+
+
+def get_scenario(name: str) -> Scenario:
+    try:
+        return _SCENARIOS[name]
+    except KeyError:
+        raise SweepError(
+            f"unknown scenario {name!r}; registered: {sorted(_SCENARIOS)}"
+        ) from None
+
+
+def list_scenarios() -> list[str]:
+    return sorted(_SCENARIOS)
+
+
+def list_algorithms() -> list[str]:
+    return sorted(_ALGORITHMS)
+
+
+# ----------------------------------------------------------------------
+# built-in algorithm drivers (each self-verifies against an oracle)
+# ----------------------------------------------------------------------
+def _first_node(graph):
+    return next(iter(graph.nodes()))
+
+
+def _check(actual: dict, expected: dict, what: str) -> None:
+    if actual != expected:
+        bad = [(u, actual.get(u), expected[u]) for u in expected if actual.get(u) != expected[u]]
+        raise SweepError(f"{what}: output disagrees with oracle, e.g. {bad[:3]}")
+
+
+def _drive_sssp(graph, seed: int, metrics: Metrics) -> None:
+    from ..core import sssp
+
+    source = _first_node(graph)
+    result = sssp(graph, source)
+    _check(result.distances, graph.dijkstra([source]), "sssp")
+    metrics.merge(result.metrics)
+
+
+def _drive_cssp(graph, seed: int, metrics: Metrics) -> None:
+    from ..core import cssp
+
+    source = _first_node(graph)
+    distances, _ = cssp(graph, {source: 0}, metrics=metrics)
+    _check(distances, graph.dijkstra([source]), "cssp")
+
+
+def _drive_bellman_ford(graph, seed: int, metrics: Metrics) -> None:
+    from ..baselines import run_bellman_ford
+
+    source = _first_node(graph)
+    _check(run_bellman_ford(graph, source, metrics=metrics), graph.dijkstra([source]), "bellman-ford")
+
+
+def _drive_dijkstra(graph, seed: int, metrics: Metrics) -> None:
+    from ..baselines import run_distributed_dijkstra
+
+    source = _first_node(graph)
+    _check(
+        run_distributed_dijkstra(graph, source, metrics=metrics),
+        graph.dijkstra([source]),
+        "dijkstra",
+    )
+
+
+def _drive_bfs(graph, seed: int, metrics: Metrics) -> None:
+    from ..core import run_bfs
+
+    source = _first_node(graph)
+    _check(run_bfs(graph, [source], metrics=metrics), graph.hop_distances([source]), "bfs")
+
+
+def _drive_energy_bfs(graph, seed: int, metrics: Metrics) -> None:
+    """Sleeping-model BFS (Thm 3.8) — the sweep's energy-metric workload."""
+    from ..energy.covers import build_layered_cover
+    from ..energy.low_energy_bfs import run_low_energy_bfs
+
+    source = _first_node(graph)
+    cover = build_layered_cover(graph, graph.num_nodes, base=4, stretch=3)
+    distances, _ = run_low_energy_bfs(
+        graph, cover, {source: 0}, graph.num_nodes, metrics=metrics
+    )
+    _check(distances, graph.hop_distances([source]), "energy-bfs")
+
+
+register_algorithm("sssp", _drive_sssp)
+register_algorithm("cssp", _drive_cssp)
+register_algorithm("bellman-ford", _drive_bellman_ford)
+register_algorithm("dijkstra", _drive_dijkstra)
+register_algorithm("bfs", _drive_bfs)
+register_algorithm("energy-bfs", _drive_energy_bfs)
+
+
+# ----------------------------------------------------------------------
+# built-in scenarios: the paper's headline comparisons as registry entries
+# ----------------------------------------------------------------------
+for _scenario in (
+    Scenario("sssp/er", "er", "sssp", max_weight=9,
+             description="paper SSSP on weighted random connected graphs"),
+    Scenario("sssp/grid", "grid", "sssp", max_weight=9,
+             description="paper SSSP on weighted grids (D ~ sqrt(n))"),
+    Scenario("sssp/path", "path", "sssp", max_weight=9,
+             description="paper SSSP on weighted paths (D ~ n)"),
+    Scenario("cssp/er", "er", "cssp", max_weight=9,
+             description="thresholded CSSP on weighted random graphs"),
+    Scenario("bellman-ford/er", "er", "bellman-ford", max_weight=9,
+             description="Bellman-Ford baseline on weighted random graphs"),
+    Scenario("dijkstra/er", "er", "dijkstra", max_weight=9,
+             description="distributed Dijkstra baseline on weighted random graphs"),
+    Scenario("bfs/grid", "grid", "bfs",
+             description="unweighted CONGEST BFS on grids"),
+    Scenario("energy-bfs/path", "path", "energy-bfs",
+             description="sleeping-model BFS on paths (energy metric)"),
+):
+    register_scenario(_scenario)
+
+
+# ----------------------------------------------------------------------
+# orchestration
+# ----------------------------------------------------------------------
+def run_scenario(name: str, n: int, seed: int = 0) -> dict:
+    """Run one (scenario, size, seed) cell and return its tidy row."""
+    scenario = get_scenario(name)
+    graph = scenario.build_graph(n, seed)
+    metrics = Metrics()
+    driver = _ALGORITHMS[scenario.algorithm]
+    driver(graph, seed, metrics, **dict(scenario.params))
+    summary = metrics.summary()
+    return {
+        "scenario": scenario.name,
+        "family": scenario.family,
+        "algorithm": scenario.algorithm,
+        "n": graph.num_nodes,
+        "m": graph.num_edges,
+        "seed": seed,
+        "rounds": summary["rounds"],
+        "messages": summary["messages"],
+        "lost_messages": summary["lost_messages"],
+        "congestion": summary["congestion"],
+        "energy": summary["energy"],
+    }
+
+
+def _run_task(task: tuple[str, int, int]) -> dict:
+    return run_scenario(*task)
+
+
+def run_sweep(
+    scenarios: Iterable[str] | None = None,
+    sizes: Sequence[int] = (16, 32, 48),
+    seeds: Sequence[int] = (0,),
+    workers: int | None = None,
+) -> list[dict]:
+    """Run every (scenario, size, seed) cell; return one tidy row per cell.
+
+    ``workers=None`` or ``1`` runs in-process; ``workers > 1`` shards the
+    independent cells across a fork-based process pool.  Row order and
+    content are identical either way: rows follow the task cross product
+    (scenario-major, then size, then seed) and contain only deterministic
+    fields (:data:`ROW_FIELDS`).
+    """
+    names = list(scenarios) if scenarios is not None else list_scenarios()
+    for name in names:
+        get_scenario(name)  # fail fast on unknown names, before forking
+    tasks = [(name, n, seed) for name in names for n in sizes for seed in seeds]
+    if workers is not None and workers > 1 and len(tasks) > 1:
+        try:
+            context = multiprocessing.get_context("fork")
+        except ValueError:
+            return [_run_task(task) for task in tasks]
+        with context.Pool(min(workers, len(tasks))) as pool:
+            return pool.map(_run_task, tasks)
+    return [_run_task(task) for task in tasks]
+
+
+def smoke_sweep(workers: int | None = None) -> list[dict]:
+    """The fixed tiny sweep behind ``python -m repro sweep --smoke`` (CI entry)."""
+    return run_sweep(
+        ["sssp/er", "bellman-ford/er", "bfs/grid", "energy-bfs/path"],
+        sizes=(12, 20),
+        seeds=(0,),
+        workers=workers,
+    )

@@ -28,15 +28,34 @@ them.  Setting ``round_width=k, edge_capacity=k`` makes one simulated round
 stand for one megaround: the rounds/energy metrics advance by ``k`` per
 simulated round and up to ``k`` messages may cross an edge (one per real
 slot).  All paper-facing metrics remain exact.
+
+Engine
+------
+The runner executes on the frozen :class:`~repro.graphs.IndexedGraph` view
+of the network (built once per graph and cached on it), so all per-round
+bookkeeping is integer-indexed array work:
+
+* mailboxes are a flat ``list`` indexed by node index, not a dict;
+* the wake schedule is a bucketed ring (calendar queue) over upcoming
+  rounds with an overflow map for far-future wakes — no heap churn and no
+  per-round set filtering;
+* per-round edge-capacity accounting is a flat per-port counter array reset
+  via a touched-list, not a fresh ``Counter`` per round;
+* awake nodes step in node-index order (graph insertion order), which is
+  deterministic and replaces the old ``sorted(awake, key=repr)`` hot path.
+
+Semantics are identical to :class:`repro.sim.reference.ReferenceRunner`
+(the retained original implementation); the differential tests in
+``tests/test_runner_differential.py`` pin the two engines to byte-identical
+metrics.
 """
 
 from __future__ import annotations
 
 import enum
-import heapq
-from collections import Counter
 
 from ..graphs import Graph
+from ..graphs.indexed import IndexedGraph
 from .metrics import Metrics
 
 __all__ = ["Mode", "Context", "NodeAlgorithm", "Runner", "SimulationError"]
@@ -56,6 +75,15 @@ class SimulationError(RuntimeError):
 #: Sentinel for :meth:`Context.idle` — sleep with no scheduled wake.
 _IDLE = -1
 
+#: ``next_wake`` marker for "no live wake scheduled".
+_NONE = -1
+
+#: Ring size (power of two).  Wakes within this many rounds of the current
+#: one live in the ring; anything further sits in the overflow map until the
+#: window slides over it.
+_RING = 1024
+_MASK = _RING - 1
+
 
 class Context:
     """Per-node handle through which an algorithm interacts with the network.
@@ -66,14 +94,26 @@ class Context:
     implementations honest distributed algorithms.
     """
 
-    __slots__ = ("node", "round", "_runner", "_neighbors", "_weights", "_next_wake", "_halted")
+    __slots__ = (
+        "node",
+        "round",
+        "_runner",
+        "_index",
+        "_neighbors",
+        "_weights",
+        "_ports",
+        "_next_wake",
+        "_halted",
+    )
 
-    def __init__(self, runner: "Runner", node: object) -> None:
+    def __init__(self, runner: "Runner", node: object, index: int, view: tuple) -> None:
         self.node = node
         self.round = 0
         self._runner = runner
-        self._neighbors = tuple(runner.graph.neighbors(node))
-        self._weights = {v: runner.graph.weight(node, v) for v in self._neighbors}
+        self._index = index
+        # Shared, read-only per-node structures from IndexedGraph.node_views()
+        # — built once per graph, reused by every runner over it.
+        self._neighbors, self._weights, self._ports = view
         self._next_wake: int | None = None
         self._halted = False
 
@@ -92,9 +132,23 @@ class Context:
     # -- actions ---------------------------------------------------------
     def send(self, neighbor: object, payload: object) -> None:
         """Send ``payload`` to ``neighbor`` this round (arrives next round)."""
-        if neighbor not in self._weights:
+        port = self._ports.get(neighbor)
+        if port is None:
             raise SimulationError(f"{self.node!r} tried to message non-neighbor {neighbor!r}")
-        self._runner._enqueue(self.node, neighbor, payload)
+        port_id, dst_index, _weight = port
+        runner = self._runner
+        load = runner._edge_load
+        count = load[port_id] + 1
+        if count > runner.edge_capacity:
+            raise SimulationError(
+                f"edge capacity exceeded: {self.node!r}->{neighbor!r} sent "
+                f"{count} messages in one round "
+                f"(capacity {runner.edge_capacity})"
+            )
+        load[port_id] = count
+        if count == 1:
+            runner._touched.append(port_id)
+        runner._outbox.append((self._index, dst_index, payload))
 
     def broadcast(self, payload: object) -> None:
         """Send ``payload`` to every neighbor (one message per edge)."""
@@ -149,9 +203,12 @@ class Runner:
     Parameters
     ----------
     graph:
-        The network.  Every node of the graph must have an algorithm.
+        The network — a :class:`~repro.graphs.Graph` (its cached
+        :class:`~repro.graphs.IndexedGraph` view is used) or an
+        :class:`~repro.graphs.IndexedGraph` directly.  Every node must have
+        an algorithm.
     algorithms:
-        Mapping node -> :class:`NodeAlgorithm` instance.
+        Mapping node label -> :class:`NodeAlgorithm` instance.
     mode:
         :data:`Mode.CONGEST` (buffered, wake-on-message) or
         :data:`Mode.SLEEPING` (lossy, strict schedules).
@@ -166,7 +223,7 @@ class Runner:
 
     def __init__(
         self,
-        graph: Graph,
+        graph: Graph | IndexedGraph,
         algorithms: dict,
         mode: Mode = Mode.CONGEST,
         *,
@@ -175,116 +232,212 @@ class Runner:
         metrics: Metrics | None = None,
         max_rounds: int = 10_000_000,
     ) -> None:
-        missing = [u for u in graph.nodes() if u not in algorithms]
+        indexed = graph if isinstance(graph, IndexedGraph) else IndexedGraph.of(graph)
+        missing = [u for u in indexed.labels if u not in algorithms]
         if missing:
             raise SimulationError(f"nodes without an algorithm: {missing[:5]}")
         self.graph = graph
+        self.indexed = indexed
         self.algorithms = algorithms
         self.mode = mode
         self.round_width = round_width
         self.edge_capacity = edge_capacity
         self.metrics = metrics if metrics is not None else Metrics()
         self.max_rounds = max_rounds
-        self._contexts = {u: Context(self, u) for u in graph.nodes()}
-        self._mailboxes: dict[object, list] = {u: [] for u in graph.nodes()}
-        self._outbox: list[tuple[object, object, object]] = []
-        self._edge_load: Counter = Counter()
-
-    # ------------------------------------------------------------------
-    def _enqueue(self, src: object, dst: object, payload: object) -> None:
-        self._edge_load[(src, dst)] += 1
-        if self._edge_load[(src, dst)] > self.edge_capacity:
-            raise SimulationError(
-                f"edge capacity exceeded: {src!r}->{dst!r} sent "
-                f"{self._edge_load[(src, dst)]} messages in one round "
-                f"(capacity {self.edge_capacity})"
-            )
-        self._outbox.append((src, dst, payload))
+        views = indexed.node_views()
+        self._contexts_by_index = [
+            Context(self, label, i, views[i]) for i, label in enumerate(indexed.labels)
+        ]
+        self._algorithms_by_index = [algorithms[label] for label in indexed.labels]
+        self._mailboxes: list[list] = [[] for _ in range(indexed.num_nodes)]
+        self._outbox: list[tuple[int, int, object]] = []
+        self._edge_load: list[int] = [0] * len(indexed.nbr)
+        self._touched: list[int] = []
 
     # ------------------------------------------------------------------
     def run(self) -> Metrics:
         """Simulate until quiescence; return the (possibly shared) metrics."""
-        self._wake_heap: list[int] = []
-        self._wake_rounds: dict[int, set] = {}
-        # next_wake_of[u] is the earliest scheduled wake of u, or None if u
-        # is idle (wakeable by message in CONGEST mode) or halted.
-        self._next_wake_of: dict[object, int | None] = {}
-        for u in self.graph.nodes():
-            self._schedule(u, 0)
+        indexed = self.indexed
+        n = indexed.num_nodes
+        labels = indexed.labels
+        contexts = self._contexts_by_index
+        algorithms = self._algorithms_by_index
+        mailboxes = self._mailboxes
+        outbox = self._outbox
+        edge_load = self._edge_load
+        touched = self._touched
+        metrics = self.metrics
+        sleeping = self.mode is Mode.SLEEPING
+        # Bulk counter updates are only valid for a plain Metrics; subclasses
+        # (TracingMetrics etc.) override the record_* hooks and get the
+        # per-event calls — same accumulated state either way.
+        fast = type(metrics) is Metrics
+
+        # Lazily-populated ring: one flat allocation, buckets created on
+        # first use (runners are created by the thousand in the recursive
+        # algorithms, so per-run setup must stay O(n + m), not O(ring)).
+        ring: list[list[int] | None] = [None] * _RING
+        far: dict[int, list[int]] = {}
+        next_wake = [0] * n
+        scheduled = n
+        ring_count = n
+        if n:
+            ring[0] = list(range(n))
+        # last round any node woke this round (for sleeping-mode delivery).
+        awake_stamp = [-1] * n
         last_round = -1
+        r = 0
 
-        while self._wake_heap:
-            r = heapq.heappop(self._wake_heap)
-            bucket = self._wake_rounds.pop(r, set())
-            # Filter stale entries (a node rescheduled to an earlier round
-            # leaves its old bucket entry behind) and halted nodes.
-            awake = {
-                u
-                for u in bucket
-                if self._next_wake_of.get(u) == r and not self._contexts[u]._halted
-            }
-            if not awake:
-                continue
-            if r >= self.max_rounds:
-                raise SimulationError(f"exceeded max_rounds={self.max_rounds}")
-            last_round = r
+        while scheduled:
+            if not ring_count:
+                # Every pending wake is beyond the ring window — jump the
+                # clock to the earliest one and slide the window over it.
+                r = min(far)
+                horizon = r + _RING
+                for s in [s for s in far if s < horizon]:
+                    entries = far.pop(s)
+                    slot = s & _MASK
+                    if ring[slot]:
+                        ring[slot].extend(entries)
+                    else:
+                        ring[slot] = entries
+                    ring_count += len(entries)
+            bucket = ring[r & _MASK]
+            if bucket:
+                ring[r & _MASK] = None
+                ring_count -= len(bucket)
+                # Keep live entries only: a node rescheduled to a different
+                # round (or already consumed) leaves a stale entry behind.
+                awake: list[int] = []
+                for i in bucket:
+                    if next_wake[i] == r:
+                        next_wake[i] = _NONE
+                        scheduled -= 1
+                        awake.append(i)
+                if awake:
+                    if r >= self.max_rounds:
+                        raise SimulationError(f"exceeded max_rounds={self.max_rounds}")
+                    last_round = r
+                    awake.sort()
 
-            # --- node steps -------------------------------------------
-            # Expose the in-phase round to metrics subclasses that stamp
-            # events (awake records and message sends) with time.
-            self.metrics.current_round = r
-            self._outbox = []
-            self._edge_load = Counter()
-            for u in sorted(awake, key=repr):
-                ctx = self._contexts[u]
-                ctx.round = r
-                ctx._next_wake = None
-                self._next_wake_of[u] = None
-                inbox = self._mailboxes[u]
-                self._mailboxes[u] = []
-                self.algorithms[u].on_round(ctx, inbox)
-                self.metrics.record_awake(u, self.round_width)
+                    # --- node steps (deterministic node-index order) ------
+                    metrics.current_round = r
+                    if sleeping:
+                        for i in awake:
+                            awake_stamp[i] = r
+                    for i in awake:
+                        ctx = contexts[i]
+                        ctx.round = r
+                        ctx._next_wake = None
+                        inbox = mailboxes[i]
+                        mailboxes[i] = []
+                        algorithms[i].on_round(ctx, inbox)
+                    if fast:
+                        width = self.round_width
+                        if width == 1:
+                            metrics.awake_rounds.update([labels[i] for i in awake])
+                        else:
+                            awake_rounds = metrics.awake_rounds
+                            for i in awake:
+                                awake_rounds[labels[i]] += width
+                    else:
+                        for i in awake:
+                            metrics.record_awake(labels[i], self.round_width)
 
-            # --- next wakes (before delivery, so wake-on-message knows
-            # which recipients are idle) --------------------------------
-            for u in awake:
-                ctx = self._contexts[u]
-                if ctx._halted or ctx._next_wake is _IDLE:
-                    continue
-                nxt = ctx._next_wake if ctx._next_wake is not None else r + 1
-                self._schedule(u, nxt)
+                    # --- next wakes (before delivery, so wake-on-message
+                    # sees the post-round schedule) ------------------------
+                    nxt_round = r + 1
+                    in_window = r + _RING
+                    for i in awake:
+                        ctx = contexts[i]
+                        wake = ctx._next_wake
+                        if ctx._halted or wake is _IDLE:
+                            continue
+                        s = wake if wake is not None else nxt_round
+                        next_wake[i] = s
+                        scheduled += 1
+                        if s < in_window:
+                            slot = s & _MASK
+                            slot_bucket = ring[slot]
+                            if slot_bucket is None:
+                                ring[slot] = [i]
+                            else:
+                                slot_bucket.append(i)
+                            ring_count += 1
+                        else:
+                            far.setdefault(s, []).append(i)
 
-            # --- delivery ---------------------------------------------
-            for src, dst, payload in self._outbox:
-                if self.mode is Mode.SLEEPING:
-                    # Sleeping model: a message reaches its target only if the
-                    # target was awake in the round it was sent (Section 1.2).
-                    delivered = dst in awake and not self._contexts[dst]._halted
-                    self.metrics.record_send(src, dst, delivered)
-                    if delivered:
-                        self._mailboxes[dst].append((src, payload))
-                else:
-                    # CONGEST: every node is conceptually awake; messages are
-                    # never lost.  A halted node discards arrivals silently.
-                    self.metrics.record_send(src, dst, True)
-                    if not self._contexts[dst]._halted:
-                        self._mailboxes[dst].append((src, payload))
-                        # Wake-on-message: recipients process fresh input next
-                        # round.  Protocols must recompute their wake schedule
-                        # on every call (they may be woken "early").
-                        self._schedule(dst, r + 1)
+                    # --- delivery -----------------------------------------
+                    if outbox:
+                        if sleeping:
+                            # A message reaches its target only if the target
+                            # was awake in the round it was sent (Sec 1.2).
+                            if fast:
+                                metrics.edge_messages.update(
+                                    [(labels[s], labels[d]) for s, d, _ in outbox]
+                                )
+                                lost = 0
+                                for src_i, dst_i, payload in outbox:
+                                    if awake_stamp[dst_i] == r and not contexts[dst_i]._halted:
+                                        mailboxes[dst_i].append((labels[src_i], payload))
+                                    else:
+                                        lost += 1
+                                metrics.total_messages += len(outbox)
+                                metrics.lost_messages += lost
+                            else:
+                                for src_i, dst_i, payload in outbox:
+                                    delivered = (
+                                        awake_stamp[dst_i] == r
+                                        and not contexts[dst_i]._halted
+                                    )
+                                    metrics.record_send(labels[src_i], labels[dst_i], delivered)
+                                    if delivered:
+                                        mailboxes[dst_i].append((labels[src_i], payload))
+                        else:
+                            # CONGEST: never lost; a halted node discards
+                            # arrivals silently, others wake-on-message.
+                            if fast:
+                                metrics.edge_messages.update(
+                                    [(labels[s], labels[d]) for s, d, _ in outbox]
+                                )
+                            for src_i, dst_i, payload in outbox:
+                                src = labels[src_i]
+                                if not fast:
+                                    metrics.record_send(src, labels[dst_i], True)
+                                dst_ctx = contexts[dst_i]
+                                if not dst_ctx._halted:
+                                    mailboxes[dst_i].append((src, payload))
+                                    cur = next_wake[dst_i]
+                                    if cur == _NONE or cur > nxt_round:
+                                        if cur == _NONE:
+                                            scheduled += 1
+                                        next_wake[dst_i] = nxt_round
+                                        slot = nxt_round & _MASK
+                                        slot_bucket = ring[slot]
+                                        if slot_bucket is None:
+                                            ring[slot] = [dst_i]
+                                        else:
+                                            slot_bucket.append(dst_i)
+                                        ring_count += 1
+                            if fast:
+                                metrics.total_messages += len(outbox)
+                        outbox.clear()
+                        for port_id in touched:
+                            edge_load[port_id] = 0
+                        touched.clear()
+
+            # Slide the window one round; far-future wakes that now fit move
+            # into the ring.
+            r += 1
+            if far:
+                entries = far.pop(r + _RING - 1, None)
+                if entries is not None:
+                    slot = (r + _RING - 1) & _MASK
+                    if ring[slot]:
+                        ring[slot].extend(entries)
+                    else:
+                        ring[slot] = entries
+                    ring_count += len(entries)
 
         self.metrics.record_rounds((last_round + 1) * self.round_width)
         return self.metrics
-
-    def _schedule(self, node: object, round_number: int) -> None:
-        current = self._next_wake_of.get(node)
-        if current is not None and current <= round_number:
-            return
-        self._next_wake_of[node] = round_number
-        bucket = self._wake_rounds.get(round_number)
-        if bucket is None:
-            self._wake_rounds[round_number] = {node}
-            heapq.heappush(self._wake_heap, round_number)
-        else:
-            bucket.add(node)

@@ -1,38 +1,14 @@
-"""Shared helpers for the test suite."""
+"""Fixtures for the test suite.
+
+Shared helper *functions* live in :mod:`repro.testing` (importable from any
+test or benchmark); only pytest fixtures belong here.
+"""
 
 from __future__ import annotations
 
 import random
 
 import pytest
-
-from repro import graphs
-from repro.graphs import Graph, INFINITY
-
-
-def oracle_distances(graph: Graph, sources: dict) -> dict:
-    """Offset-aware ground truth: ``min_s (offset_s + dist(s, v))``."""
-    best = {u: INFINITY for u in graph.nodes()}
-    for s, offset in sources.items():
-        d = graph.dijkstra([s])
-        for u in graph.nodes():
-            best[u] = min(best[u], offset + d[u])
-    return best
-
-
-def assert_distances_equal(actual: dict, expected: dict, context: str = "") -> None:
-    bad = [
-        (u, actual[u], expected[u])
-        for u in expected
-        if actual.get(u) != expected[u]
-    ]
-    assert not bad, f"{context}: first mismatches {bad[:5]}"
-
-
-def small_weighted_graph(n: int, seed: int, max_weight: int = 10) -> Graph:
-    return graphs.random_weights(
-        graphs.random_connected_graph(n, seed=seed), max_weight, seed=seed + 1000
-    )
 
 
 @pytest.fixture

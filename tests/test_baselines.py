@@ -1,6 +1,6 @@
 """Baselines: distributed Bellman-Ford and naive distributed Dijkstra."""
 
-from conftest import assert_distances_equal, small_weighted_graph
+from repro.testing import assert_distances_equal, small_weighted_graph
 from repro import graphs
 from repro.baselines import run_bellman_ford, run_distributed_dijkstra
 from repro.graphs import Graph, INFINITY

@@ -3,7 +3,7 @@
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from conftest import assert_distances_equal, oracle_distances, small_weighted_graph
+from repro.testing import assert_distances_equal, oracle_distances, small_weighted_graph
 from repro import graphs
 from repro.core.bfs import run_bfs, run_weighted_bfs
 from repro.graphs import Graph, INFINITY

@@ -6,6 +6,9 @@ import sys
 import pytest
 
 from repro.__main__ import main
+from repro.testing import subprocess_env
+
+SUBPROCESS_ENV = subprocess_env()
 
 
 class TestCLI:
@@ -41,7 +44,10 @@ class TestCLI:
 
     def test_module_invocation(self):
         proc = subprocess.run(
-            [sys.executable, "-m", "repro", "info"], capture_output=True, text=True
+            [sys.executable, "-m", "repro", "info"],
+            capture_output=True,
+            text=True,
+            env=SUBPROCESS_ENV,
         )
         assert proc.returncode == 0
         assert "PODC" in proc.stdout

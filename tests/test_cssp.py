@@ -6,7 +6,7 @@ import math
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from conftest import assert_distances_equal, oracle_distances, small_weighted_graph
+from repro.testing import assert_distances_equal, oracle_distances, small_weighted_graph
 from repro import graphs
 from repro.core.cssp import cssp, distance_upper_bound, thresholded_cssp
 from repro.graphs import Graph, INFINITY

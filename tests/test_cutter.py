@@ -3,7 +3,7 @@
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from conftest import oracle_distances, small_weighted_graph
+from repro.testing import oracle_distances, small_weighted_graph
 from repro import graphs
 from repro.core.cutter import approx_cssp, cutter_quantum
 from repro.graphs import INFINITY

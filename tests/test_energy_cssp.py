@@ -2,7 +2,7 @@
 
 import pytest
 
-from conftest import assert_distances_equal, oracle_distances
+from repro.testing import assert_distances_equal, oracle_distances
 from repro import graphs
 from repro.energy import energy_approx_cssp, energy_cssp, low_energy_bfs_from_scratch
 from repro.graphs import Graph, INFINITY

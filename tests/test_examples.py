@@ -1,13 +1,15 @@
 """Smoke tests: every example script runs to completion and self-verifies."""
 
-import runpy
 import subprocess
 import sys
 from pathlib import Path
 
 import pytest
 
+from repro.testing import subprocess_env
+
 EXAMPLES = sorted((Path(__file__).parent.parent / "examples").glob("*.py"))
+SUBPROCESS_ENV = subprocess_env()
 
 
 @pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.stem)
@@ -17,6 +19,7 @@ def test_example_runs(script):
         capture_output=True,
         text=True,
         timeout=600,
+        env=SUBPROCESS_ENV,
     )
     assert proc.returncode == 0, proc.stderr[-2000:]
     assert proc.stdout.strip(), "example produced no output"

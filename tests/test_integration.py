@@ -2,7 +2,7 @@
 
 import pytest
 
-from conftest import small_weighted_graph
+from repro.testing import small_weighted_graph
 from repro import graphs, sssp, cssp, run_bellman_ford, run_distributed_dijkstra
 from repro.energy import energy_cssp, low_energy_bfs_from_scratch
 from repro.graphs import INFINITY

@@ -3,7 +3,7 @@
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from conftest import small_weighted_graph
+from repro.testing import small_weighted_graph
 from repro import graphs, cssp
 from repro.core.paths import (
     build_shortest_path_tree,
@@ -88,7 +88,7 @@ class TestVerification:
         assert report.valid and bool(report)
 
     def test_accepts_offsets(self):
-        from conftest import oracle_distances
+        from repro.testing import oracle_distances
 
         g = small_weighted_graph(15, 5)
         sources = {0: 4, 7: 0}

@@ -1,0 +1,143 @@
+"""Differential tests: the indexed Runner vs the retained reference engine.
+
+Seeded synthetic protocols — gossipy CONGEST traffic and lossy sleeping
+schedules — run on random graphs through both :class:`repro.sim.Runner`
+(indexed, batched) and :class:`repro.sim.ReferenceRunner` (the original
+dict-of-objects implementation).  The two executions must agree on *every*
+metric: rounds, messages, lost messages, energy, congestion, and the full
+per-edge / per-node counters.
+
+The protocols are deliberately order-insensitive (they aggregate their
+inbox, never index into it), because the engines step awake nodes in
+different deterministic orders (node-index vs ``repr``-sorted) and the model
+makes no promise about mailbox ordering.
+"""
+
+import random
+
+import pytest
+
+from repro import graphs
+from repro.sim import Metrics, Mode, NodeAlgorithm, ReferenceRunner, Runner
+
+
+class Gossip(NodeAlgorithm):
+    """CONGEST chatter: seeded random sends, naps, idles; halts at a horizon.
+
+    Exercises wake-on-message, rescheduling to earlier rounds (stale wake
+    entries), idling, and halting mid-conversation.
+    """
+
+    def __init__(self, node, seed, horizon=14):
+        self.node = node
+        self.rng = random.Random(seed * 1_000_003 + node * 7919)
+        self.horizon = horizon
+        self.heard = 0
+
+    def on_round(self, ctx, inbox):
+        self.heard += sum(payload for _, payload in inbox)  # order-insensitive
+        if ctx.round >= self.horizon:
+            ctx.halt()
+            return
+        for v in ctx.neighbors:
+            if self.rng.random() < 0.35:
+                ctx.send(v, (self.node + self.heard + ctx.round) % 97)
+        choice = self.rng.random()
+        if choice < 0.25:
+            ctx.sleep_for(1 + int(choice * 20))
+        elif choice < 0.35:
+            ctx.idle()
+        # else: default — awake again next round
+
+
+class SleepyBeacon(NodeAlgorithm):
+    """Sleeping-model protocol: staggered wake schedules, lossy sends.
+
+    Nodes wake on their own seeded schedule and broadcast to random
+    neighbors; whether a message lands depends on the recipient's schedule,
+    so this exercises the lost-message accounting of Section 1.2.
+    """
+
+    def __init__(self, node, seed, budget=8):
+        self.node = node
+        self.rng = random.Random(seed * 998_244_353 + node * 104_729)
+        self.budget = budget
+
+    def on_round(self, ctx, inbox):
+        self.budget -= 1
+        if self.budget <= 0:
+            ctx.halt()
+            return
+        for v in ctx.neighbors:
+            if self.rng.random() < 0.5:
+                ctx.send(v, self.budget)
+        ctx.wake_at(ctx.round + 1 + self.rng.randrange(4))
+
+
+def both_metrics(graph, make_algorithms, mode, **kwargs):
+    runs = []
+    for engine in (Runner, ReferenceRunner):
+        metrics = Metrics()
+        engine(graph, make_algorithms(), mode, metrics=metrics, **kwargs).run()
+        runs.append(metrics)
+    return runs
+
+
+def assert_identical(new: Metrics, ref: Metrics) -> None:
+    assert new.summary() == ref.summary()
+    assert new.edge_messages == ref.edge_messages
+    assert new.awake_rounds == ref.awake_rounds
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_congest_parity_on_random_graphs(seed):
+    rng = random.Random(seed)
+    n = rng.randrange(5, 40)
+    g = graphs.random_connected_graph(n, extra_edge_prob=rng.choice([0.0, 0.1, 0.3]), seed=seed)
+    new, ref = both_metrics(g, lambda: {u: Gossip(u, seed) for u in g.nodes()}, Mode.CONGEST)
+    assert_identical(new, ref)
+    assert new.lost_messages == 0  # CONGEST never loses messages
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_sleeping_parity_on_random_graphs(seed):
+    rng = random.Random(1000 + seed)
+    n = rng.randrange(5, 40)
+    g = graphs.random_connected_graph(n, extra_edge_prob=0.15, seed=seed)
+    new, ref = both_metrics(
+        g, lambda: {u: SleepyBeacon(u, seed) for u in g.nodes()}, Mode.SLEEPING
+    )
+    assert_identical(new, ref)
+    assert new.lost_messages > 0  # the schedules are staggered enough to lose some
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_megaround_parity(seed):
+    g = graphs.random_connected_graph(16, extra_edge_prob=0.2, seed=seed)
+    new, ref = both_metrics(
+        g,
+        lambda: {u: Gossip(u, seed, horizon=9) for u in g.nodes()},
+        Mode.CONGEST,
+        round_width=3,
+        edge_capacity=3,
+    )
+    assert_identical(new, ref)
+
+
+def test_parity_on_disconnected_graph():
+    g = graphs.random_graph(24, p=0.05, seed=7)  # usually several components
+    new, ref = both_metrics(g, lambda: {u: Gossip(u, 7) for u in g.nodes()}, Mode.CONGEST)
+    assert_identical(new, ref)
+
+
+def test_parity_with_non_integer_labels():
+    base = graphs.random_connected_graph(12, seed=3)
+    g = graphs.Graph.from_edges(
+        ((f"v{u}", f"v{v}", w) for u, v, w in base.edges()),
+        nodes=(f"v{u}" for u in base.nodes()),
+    )
+    index_of = {label: i for i, label in enumerate(g.nodes())}
+    new, ref = both_metrics(
+        g, lambda: {u: Gossip(index_of[u], 3) for u in g.nodes()}, Mode.CONGEST
+    )
+    assert_identical(new, ref)

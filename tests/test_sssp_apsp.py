@@ -4,7 +4,7 @@ import math
 
 import pytest
 
-from conftest import assert_distances_equal, small_weighted_graph
+from repro.testing import assert_distances_equal, small_weighted_graph
 from repro import graphs
 from repro.core.apsp import apsp, schedule_with_random_delays
 from repro.core.sssp import sssp, sssp_distances
