@@ -14,6 +14,7 @@ pytest happened to import first, which broke collection when ``tests/`` and
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
 
 from repro.analysis import render_table
@@ -22,11 +23,25 @@ RESULTS_DIR = Path(__file__).parent / "results"
 
 
 def record_table(experiment: str, title: str, headers: list, rows: list) -> str:
-    """Render, persist and return an experiment table."""
+    """Render, persist and return an experiment table.
+
+    Each table lands twice: human-readable ``<experiment>.txt`` and
+    machine-readable ``<experiment>.json`` (title/headers/rows), so the
+    recorded results can be diffed and post-processed across PRs.
+    """
     RESULTS_DIR.mkdir(exist_ok=True)
     text = render_table(title, headers, rows)
     out = RESULTS_DIR / f"{experiment}.txt"
     out.write_text(text + "\n")
+    payload = {
+        "experiment": experiment,
+        "title": title,
+        "headers": list(headers),
+        "rows": [list(row) for row in rows],
+    }
+    (RESULTS_DIR / f"{experiment}.json").write_text(
+        json.dumps(payload, indent=2, default=str) + "\n"
+    )
     print("\n" + text)
     return text
 

@@ -11,49 +11,7 @@ Two tables:
 """
 
 from _bench import record_table, run_once
-from repro import graphs
-from repro.analysis import fit_power_law
-from repro.energy.covers import build_layered_cover
-from repro.energy.low_energy_bfs import run_low_energy_bfs
-from repro.sim import Metrics
-
-SIZES = [16, 32, 64, 128]
-
-
-def measure(n):
-    g = graphs.path_graph(n)
-    cover = build_layered_cover(g, n, base=4, stretch=3)
-    m = Metrics()
-    dist, sched = run_low_energy_bfs(g, cover, {0: 0}, n, metrics=m)
-    assert dist == g.hop_distances([0])
-    roles = max(
-        sum(1 for c in cov.clusters if u in c.tree_parent)
-        for u in g.nodes()
-        for cov in [cover.levels[0]]
-    )
-    total_roles = {}
-    for cov in cover.levels:
-        for c in cov.clusters:
-            for u in c.tree_parent:
-                total_roles[u] = total_roles.get(u, 0) + 1
-    max_roles = max(total_roles.values())
-    mega_wakes = m.max_energy // sched.omega
-    return {
-        "n": n,
-        "D": n - 1,
-        "rounds": m.rounds,
-        "sigma": sched.sigma,
-        "omega": sched.omega,
-        "energy": m.max_energy,
-        "mega_wakes": mega_wakes,
-        "max_roles": max_roles,
-        "wakes_per_role": round(mega_wakes / max_roles, 1),
-        "awake_fraction": round(m.max_energy / m.rounds, 3),
-    }
-
-
-def run_sweep():
-    return [measure(n) for n in SIZES]
+from repro.bench import E6_SIZES as SIZES, e6_measure as measure, e6_sweep as run_sweep
 
 
 def test_e6_energy_bfs(benchmark):

@@ -1,0 +1,67 @@
+"""Perf smoke gate (tier-2): the CLI surfaces stay fast.
+
+Runs the two cheap CI entry points as real subprocesses with a generous
+wall-clock budget:
+
+* ``python -m repro sweep --smoke`` — the fixed tiny sweep must complete;
+* ``python -m repro bench --quick`` — one repetition of the pinned
+  benchmark subset, compared in-process by the CLI against the recorded
+  ``BENCH.json`` baseline; the command exits non-zero (failing this test
+  loudly) if any experiment regressed beyond 2x its recorded median.
+
+Runs under the ``bench`` marker (tier-2) like everything in this tree —
+tier-1 never pays for it.  The wall-clock budgets are deliberately loose
+(shared CI machines); the 2x factor against the recorded medians is the
+actual regression tripwire.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+from _bench import run_once
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Generous ceilings — an outright hang, not jitter, is what they catch.
+SMOKE_BUDGET_S = 120
+BENCH_BUDGET_S = 300
+
+
+def _run(args: list[str], timeout: int) -> subprocess.CompletedProcess:
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = src + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        cwd=REPO_ROOT,
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+
+
+def test_smoke_sweep_completes(benchmark):
+    # Runs under the benchmark fixture so `--benchmark-only` (the documented
+    # tier-2 invocation) executes the gate instead of deselecting it.
+    result = run_once(benchmark, lambda: _run(["sweep", "--smoke"], SMOKE_BUDGET_S))
+    assert result.returncode == 0, result.stderr
+    assert "smoke sweep" in result.stdout
+
+
+def test_bench_quick_within_recorded_baseline(benchmark):
+    if not (REPO_ROOT / "BENCH.json").is_file():
+        import pytest
+
+        pytest.skip("no recorded BENCH.json baseline to gate against")
+    result = run_once(benchmark, lambda: _run(["bench", "--quick"], BENCH_BUDGET_S))
+    assert result.returncode == 0, (
+        "perf smoke gate tripped:\n" + result.stdout + result.stderr
+    )
+    assert "within" in result.stdout

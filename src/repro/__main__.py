@@ -20,6 +20,16 @@ Commands
     ``--smoke`` (fixed tiny sweep for CI; ignores the other selectors),
     ``--output PATH`` (write a Markdown report instead of printing),
     ``--list`` (print the registered scenario names and exit).
+``bench [options]``
+    Time the pinned fast benchmark subset (E2/E6/E8 + the smoke sweep) and
+    record ``BENCH.json`` ({experiment: median_ms}) so the perf trajectory
+    is tracked PR-over-PR.
+
+    Options: ``--experiments E2,E6`` (default: E2,E6,E8,smoke),
+    ``--repeats N`` (default 3), ``--output PATH`` (default BENCH.json),
+    ``--quick`` (one repetition, no file write unless ``--output`` is
+    given, non-zero exit if any experiment exceeds 2x the recorded
+    baseline — the CI perf smoke gate), ``--factor X`` (gate threshold).
 """
 
 from __future__ import annotations
@@ -155,6 +165,75 @@ def _cmd_sweep(argv: list[str]) -> int:
     return 0
 
 
+def _cmd_bench(argv: list[str]) -> int:
+    from repro import bench
+
+    options = {
+        "experiments": None,
+        "repeats": 3,
+        "output": None,
+        "quick": False,
+        "factor": 2.0,
+    }
+    it = iter(argv)
+    for arg in it:
+        value_of = {"--experiments", "--repeats", "--output", "--factor"}
+        value = next(it, None) if arg in value_of else None
+        if arg in value_of and value is None:
+            print(f"bench option {arg} requires a value", file=sys.stderr)
+            return 2
+        try:
+            if arg == "--quick":
+                options["quick"] = True
+            elif arg == "--experiments":
+                options["experiments"] = value.split(",")
+            elif arg == "--repeats":
+                options["repeats"] = int(value)
+            elif arg == "--output":
+                options["output"] = value
+            elif arg == "--factor":
+                options["factor"] = float(value)
+            else:
+                print(f"unknown bench option {arg!r}", file=sys.stderr)
+                return 2
+        except ValueError:
+            print(f"bench option {arg}: bad value {value!r}", file=sys.stderr)
+            return 2
+
+    repeats = 1 if options["quick"] else options["repeats"]
+    try:
+        results = bench.run_bench(options["experiments"], repeats=repeats)
+    except ValueError as exc:
+        print(f"bench error: {exc}", file=sys.stderr)
+        return 2
+    for name, ms in sorted(results.items()):
+        print(f"{name:8s} {ms:10.1f} ms   (median of {repeats})")
+
+    baseline_path = options["output"] or "BENCH.json"
+    if options["quick"]:
+        # Gate mode: compare against the recorded baseline, write nothing
+        # (unless an explicit output path was given).
+        baseline = bench.load_bench(baseline_path)
+        if options["output"]:
+            bench.write_bench(results, options["output"])
+            print(f"wrote {options['output']}")
+        if baseline is None:
+            print(f"no recorded baseline at {baseline_path}; nothing to gate against")
+            return 0
+        violations = bench.compare_to_baseline(
+            results, baseline, factor=options["factor"]
+        )
+        if violations:
+            for line in violations:
+                print(f"PERF REGRESSION {line}", file=sys.stderr)
+            return 1
+        print(f"within {options['factor']:g}x of recorded baseline ({baseline_path})")
+        return 0
+    target = bench.write_bench(results, baseline_path)
+    print(f"wrote {target}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     if not argv or argv[0] in ("-h", "--help"):
@@ -169,7 +248,12 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_report(rest)
     if command == "sweep":
         return _cmd_sweep(rest)
-    print(f"unknown command {command!r}; try: info, demo, report, sweep", file=sys.stderr)
+    if command == "bench":
+        return _cmd_bench(rest)
+    print(
+        f"unknown command {command!r}; try: info, demo, report, sweep, bench",
+        file=sys.stderr,
+    )
     return 2
 
 

@@ -28,13 +28,22 @@ class BellmanFordNode(NodeAlgorithm):
         self.horizon = horizon
         self.send_on_change = send_on_change
         self._changed = True  # sources must announce in round 0
+        self._weight_of: dict | None = None
 
     def on_round(self, ctx: Context, inbox: list[tuple[object, object]]) -> None:
-        for sender, estimate in inbox:
-            candidate = estimate + ctx.weight(sender)
-            if candidate < self.dist:
-                self.dist = candidate
-                self._changed = True
+        # The relaxation loop runs once per received message for n rounds —
+        # cache the neighbor->weight map out of it (one bulk read per node).
+        if inbox.senders:
+            weight_of = self._weight_of
+            if weight_of is None:
+                weight_of = self._weight_of = dict(zip(ctx.neighbors, ctx.edge_weights))
+            dist = self.dist
+            for sender, estimate in zip(inbox.senders, inbox.payloads):
+                candidate = estimate + weight_of[sender]
+                if candidate < dist:
+                    dist = candidate
+                    self._changed = True
+            self.dist = dist
         if ctx.round >= self.horizon:
             ctx.halt()
             return

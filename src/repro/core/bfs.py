@@ -78,10 +78,11 @@ class WeightedBFS(NodeAlgorithm):
         if self._finalized:
             ctx.halt()
             return
-        for sender, offer in inbox:
-            if offer < self._best:
-                self._best = offer
-                self._best_from = sender
+        if inbox.senders:
+            for sender, offer in zip(inbox.senders, inbox.payloads):
+                if offer < self._best:
+                    self._best = offer
+                    self._best_from = sender
         r = ctx.round
         if self._best <= r and self._best <= self.threshold:
             # The round ruler has reached our smallest offer: no shorter
@@ -94,9 +95,11 @@ class WeightedBFS(NodeAlgorithm):
             if self.collect_parent:
                 self.parent = self._best_from
             self._finalized = True
-            for v in ctx.neighbors:
-                offer = self.dist + ctx.weight(v)
-                if offer <= self.threshold:
+            dist = self.dist
+            threshold = self.threshold
+            for v, w in zip(ctx.neighbors, ctx.edge_weights):
+                offer = dist + w
+                if offer <= threshold:
                     ctx.send(v, offer)
             ctx.halt()
             return
@@ -129,11 +132,11 @@ def run_weighted_bfs(
     Edge weights must be strictly positive (weight-0 edges are handled one
     level up, by contraction — Theorem 2.7).
     """
-    for u, v, w in graph.edges():
-        if w <= 0:
-            raise ValueError(
-                f"weighted BFS needs positive weights; edge {u!r}-{v!r} has {w}"
-            )
+    if graph.num_edges and graph.min_weight() <= 0:
+        u, v, w = next((u, v, w) for u, v, w in graph.edges() if w <= 0)
+        raise ValueError(
+            f"weighted BFS needs positive weights; edge {u!r}-{v!r} has {w}"
+        )
     for s, offset in sources.items():
         if s not in graph:
             raise KeyError(f"source {s!r} not in graph")
@@ -164,6 +167,11 @@ def run_bfs(
 
     ``threshold`` defaults to ``n`` (no thresholding in effect).
     """
-    hop_graph = graph.reweighted(lambda _w: 1)
+    # Skip the copy when the graph is already unit-weighted — the cached
+    # indexed view then carries over to the runner.
+    if graph.num_edges and graph.min_weight() == 1 and graph.max_weight() == 1:
+        hop_graph = graph
+    else:
+        hop_graph = graph.reweighted(lambda _w: 1)
     tau = threshold if threshold is not None else graph.num_nodes
     return run_weighted_bfs(hop_graph, {s: 0 for s in sources}, tau, metrics=metrics)

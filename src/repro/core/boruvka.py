@@ -92,18 +92,29 @@ class BoruvkaNode(NodeAlgorithm):
         self._sent_report = False
         self._decision: object = "pending"  # "pending" | None | (cu, cv)
         self._sent_join_to: object = None
+        # repr-sorted children, rebuilt only when the child set changes.
+        self._kids_cache: list | None = []
+        # Lazily built per-run repr tables (repr is the hottest string work
+        # in the protocol: fragment and edge keys are all repr-based).
+        self._edge_key_of: dict | None = None
+
+    def _kids(self) -> list:
+        kids = self._kids_cache
+        if kids is None:
+            kids = self._kids_cache = sorted(self.children, key=repr)
+        return kids
 
     # -- helpers ---------------------------------------------------------
-    def _phase_and_offset(self, r: int) -> tuple[int, int]:
-        return r // self.phase_len, r % self.phase_len
-
     def _my_candidate(self) -> tuple | None:
         """Minimum outgoing edge at this node: (frag key, edge key, u, v)."""
         best: tuple | None = None
-        for v, frag_v in self._neighbor_fragment.items():
-            if frag_v == self.fragment:
+        fragment = self.fragment
+        edge_key_of = self._edge_key_of
+        node = self.node
+        for v, (frag_v, frag_key) in self._neighbor_fragment.items():
+            if frag_v == fragment:
                 continue
-            cand = (_fragment_key(frag_v), _edge_key(self.node, v), self.node, v)
+            cand = (frag_key, edge_key_of[v], node, v)
             if best is None or cand[:2] < best[:2]:
                 best = cand
         return best
@@ -132,7 +143,7 @@ class BoruvkaNode(NodeAlgorithm):
             ctx.send(self.parent, ("report", best))
 
     def _broadcast_decision(self, ctx: Context) -> None:
-        for child in sorted(self.children, key=repr):
+        for child in self._kids():
             ctx.send(child, ("decision", self._decision))
 
     def _start_flip_walk(self, ctx: Context, new_parent: object) -> None:
@@ -144,12 +155,13 @@ class BoruvkaNode(NodeAlgorithm):
         self.parent = new_parent
         if old_parent is not None:
             self.children.add(old_parent)
+            self._kids_cache = None
             ctx.send(old_parent, ("flip",))
 
     # -- main dispatch -----------------------------------------------------
     def on_round(self, ctx: Context, inbox: list[tuple[object, object]]) -> None:
         r = ctx.round
-        phase, offset = self._phase_and_offset(r)
+        phase, offset = divmod(r, self.phase_len)
         seg = self.segment
 
         if offset == 0:
@@ -161,19 +173,19 @@ class BoruvkaNode(NodeAlgorithm):
             if self.parent is None:
                 self.fragment = self.node
                 self.depth = 0
-                for child in sorted(self.children, key=repr):
+                for child in self._kids():
                     ctx.send(child, ("refresh", self.fragment, 1))
 
-        for sender, payload in inbox:
+        for sender, payload in zip(inbox.senders, inbox.payloads) if inbox.senders else ():
             kind = payload[0]
             if kind == "refresh":
                 _, frag, depth = payload
                 self.fragment = frag
                 self.depth = depth
-                for child in sorted(self.children, key=repr):
+                for child in self._kids():
                     ctx.send(child, ("refresh", frag, depth + 1))
             elif kind == "hello":
-                self._neighbor_fragment[sender] = payload[1]
+                self._neighbor_fragment[sender] = (payload[1], payload[2])
             elif kind == "report":
                 self._reports.append(payload[1])
                 self._report_count += 1
@@ -187,14 +199,20 @@ class BoruvkaNode(NodeAlgorithm):
                 old_parent = self.parent
                 self.parent = sender
                 self.children.discard(sender)
+                self._kids_cache = None
                 if old_parent is not None:
                     self.children.add(old_parent)
                     ctx.send(old_parent, ("flip",))
 
         phase_start = phase * self.phase_len
         if offset == seg:
-            for v in ctx.neighbors:
-                ctx.send(v, ("hello", self.fragment))
+            # The only all-edges traffic — one columnar broadcast record
+            # instead of ``degree`` individual sends.  The fragment key rides
+            # along so each receiver skips recomputing the repr.
+            if self._edge_key_of is None:
+                node = self.node
+                self._edge_key_of = {v: _edge_key(node, v) for v in ctx.neighbors}
+            ctx.broadcast(("hello", self.fragment, _fragment_key(self.fragment)))
         elif 2 * seg <= offset < 3 * seg:
             self._try_send_report(ctx)
         elif offset == 3 * seg and self.parent is None:
@@ -224,7 +242,29 @@ class BoruvkaNode(NodeAlgorithm):
             ctx.halt()
             return
 
-        self._schedule_next(ctx, r, phase_start, offset)
+        # Next wake: the next segment boundary this node acts on (messages
+        # wake it too).  Inlined from the former _schedule_next helper —
+        # this runs once per awake round.
+        if self.complete:
+            ctx.wake_at(phase_start + 4 * seg + 2)
+            return
+        nxt = phase_start + self.phase_len  # next phase's offset 0; always > r
+        for b in (
+            phase_start + seg,
+            phase_start + 2 * seg,
+            phase_start + 4 * seg,
+        ):
+            if r < b < nxt:
+                nxt = b
+        if self.parent is None:
+            b = phase_start + 3 * seg
+            if r < b < nxt:
+                nxt = b
+        if self._sent_join_to is not None:
+            b = phase_start + 4 * seg + 1
+            if r < b < nxt:
+                nxt = b
+        ctx.wake_at(nxt)
 
     def _handle_join(self, ctx: Context, sender: object, sender_fragment: object) -> None:
         my_edge = None if self._decision in ("pending", None) else self._decision
@@ -240,37 +280,16 @@ class BoruvkaNode(NodeAlgorithm):
             i_win = _fragment_key(self.fragment) > _fragment_key(sender_fragment)
             if i_win:
                 self.children.add(sender)
+                self._kids_cache = None
                 self._start_flip_walk(ctx, new_parent=None)
             else:
                 self.children.discard(sender)
+                self._kids_cache = None
                 self._start_flip_walk(ctx, new_parent=sender)
         else:
             # A foreign fragment hangs its tree under me via this edge.
             self.children.add(sender)
-
-    def _schedule_next(self, ctx: Context, r: int, phase_start: int, offset: int) -> None:
-        """Wake at the next segment boundary I act on (messages wake me too)."""
-        if self.complete:
-            ctx.wake_at(phase_start + 4 * self.segment + 2)
-            return
-        segment = self.segment
-        nxt = phase_start + self.phase_len  # next phase's offset 0; always > r
-        for b in (
-            phase_start + segment,
-            phase_start + 2 * segment,
-            phase_start + 4 * segment,
-        ):
-            if r < b < nxt:
-                nxt = b
-        if self.parent is None:
-            b = phase_start + 3 * segment
-            if r < b < nxt:
-                nxt = b
-        if self._sent_join_to is not None:
-            b = phase_start + 4 * segment + 1
-            if r < b < nxt:
-                nxt = b
-        ctx.wake_at(nxt)
+            self._kids_cache = None
 
     # Non-core endpoint: after sending a join at 4*seg we must learn by
     # 4*seg + 1 whether the partner fragment chose the same edge (its join

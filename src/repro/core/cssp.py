@@ -83,7 +83,7 @@ def cssp(
     if not source_offsets:
         return {u: INFINITY for u in graph.nodes()}, metrics
 
-    if any(w == 0 for _, _, w in graph.edges()):
+    if graph.num_edges and graph.min_weight() == 0:
         distances = _cssp_with_zero_weights(graph, source_offsets, eps, metrics)
         return distances, metrics
 
@@ -164,8 +164,11 @@ def _thresholded_recursive(
     approx = cutter(graph, sources, eps, threshold, metrics=metrics)
     v1 = {u for u, d in approx.items() if d < threshold + eps * threshold}
 
-    # Step 4: recurse on V1 with threshold D/2.
-    sub1 = graph.induced_subgraph(v1)
+    # Step 4: recurse on V1 with threshold D/2.  When the cutter keeps
+    # every node (the common case near the top of the recursion), reuse the
+    # graph object itself — its cached IndexedGraph view and node views
+    # carry over to every phase of the subproblem.
+    sub1 = graph if len(v1) == graph.num_nodes else graph.induced_subgraph(v1)
     sources1 = {s: off for s, off in sources.items() if s in v1}
     dist1 = _thresholded_recursive(
         sub1, sources1, half, eps=eps, metrics=metrics, cutter=cutter
@@ -204,7 +207,7 @@ def _thresholded_recursive(
 
     # Step 6: recurse on V1 \ V2 from the cut.
     rest = v1 - v2
-    sub2 = graph.induced_subgraph(rest)
+    sub2 = graph if len(rest) == graph.num_nodes else graph.induced_subgraph(rest)
     dist2 = _thresholded_recursive(
         sub2, cut_sources, half, eps=eps, metrics=metrics, cutter=cutter
     )

@@ -72,10 +72,18 @@ def approx_cssp(
 
     n = graph.num_nodes
     q = cutter_quantum(n, eps, bound)
-    rounded = graph.reweighted(lambda w: -(-w // q))  # ceil division
-    rounded_sources = {s: -(-offset // q) for s, offset in sources.items()}
+    if q == 1:
+        # Quantum 1 rounds every weight to itself: run on the graph as-is
+        # (reusing its cached indexed view) — the computation is exact.
+        rounded = graph
+        rounded_sources = dict(sources)
+    else:
+        rounded = graph.reweighted(lambda w: -(-w // q))  # ceil division
+        rounded_sources = {s: -(-offset // q) for s, offset in sources.items()}
     threshold = -(-2 * bound // q) + n + 1
     rounded_dist = run_weighted_bfs(rounded, rounded_sources, threshold, metrics=metrics)
+    if q == 1:
+        return rounded_dist
     return {
         u: (INFINITY if d == INFINITY else q * d) for u, d in rounded_dist.items()
     }

@@ -171,13 +171,14 @@ class ConvergecastBroadcast(NodeAlgorithm):
         self._reports: list = []
         self._sent_up = False
 
-    def on_round(self, ctx: Context, inbox: list[tuple[object, object]]) -> None:
-        for sender, payload in inbox:
-            kind, body = payload
-            if kind == "up":
-                self._reports.append(body)
-            elif kind == "down":
-                self.result = body
+    def on_round(self, ctx: Context, inbox) -> None:
+        if inbox.senders:
+            for payload in inbox.payloads:  # senders are not part of the fold
+                kind, body = payload
+                if kind == "up":
+                    self._reports.append(body)
+                elif kind == "down":
+                    self.result = body
         if not self._sent_up and len(self._reports) == len(self.children):
             aggregate = self.combine([self.value] + self._reports)
             self._sent_up = True

@@ -47,10 +47,12 @@ class LabeledBFS(NodeAlgorithm):
         if self._finalized:
             ctx.halt()
             return
-        for sender, (dist, key, label, hops) in inbox:
-            candidate = (dist, key, label, sender, hops)
-            if self._best is None or candidate[:2] < self._best[:2]:
-                self._best = candidate
+        if inbox.senders:
+            best = self._best
+            for sender, (dist, key, label, hops) in zip(inbox.senders, inbox.payloads):
+                if best is None or dist < best[0] or (dist == best[0] and key < best[1]):
+                    best = (dist, key, label, sender, hops)
+            self._best = best
         r = ctx.round
         if self._best is not None and self._best[0] == r and r <= self.threshold:
             dist, key, label, parent, hops = self._best
@@ -59,10 +61,12 @@ class LabeledBFS(NodeAlgorithm):
             self.parent = parent
             self.hops = hops
             self._finalized = True
-            for v in ctx.neighbors:
-                offer = dist + ctx.weight(v)
-                if offer <= self.threshold:
-                    ctx.send(v, (offer, key, label, hops + 1))
+            threshold = self.threshold
+            payload_hops = hops + 1
+            for v, w in zip(ctx.neighbors, ctx.edge_weights):
+                offer = dist + w
+                if offer <= threshold:
+                    ctx.send(v, (offer, key, label, payload_hops))
             ctx.halt()
             return
         if self._best is not None and self._best[0] <= self.threshold:

@@ -44,6 +44,7 @@ metrics; energy is the max awake-rounds, the paper's measure.
 from __future__ import annotations
 
 import math
+from bisect import bisect_right
 from dataclasses import dataclass, field
 
 from ..graphs import Graph, INFINITY
@@ -51,6 +52,35 @@ from ..sim import Context, Metrics, Mode, NodeAlgorithm, Runner
 from .covers import LayeredCover
 
 __all__ = ["LowEnergyBFSNode", "Schedule", "run_low_energy_bfs"]
+
+
+#: ``(cycle_len, tree_depth, node_depth) -> next-wake table``: entry ``off``
+#: is the distance from in-cycle offset ``off`` to the node's next cluster
+#: slot (strictly ahead, wrapping into the next cycle).  The four slots per
+#: cycle are a pure function of the key, so the tables are shared across
+#: nodes, clusters and runs — this turns the scheduler's former
+#: 8-candidate scan per role per wake into one array lookup.
+_WAKE_TABLES: dict[tuple[int, int, int], list[int]] = {}
+
+
+def _wake_table(cycle_len: int, depth_max: int, depth: int) -> list[int]:
+    key = (cycle_len, depth_max, depth)
+    table = _WAKE_TABLES.get(key)
+    if table is None:
+        slots = sorted(
+            {
+                (depth_max - depth - 1) % cycle_len,
+                (depth_max - depth) % cycle_len,
+                (depth_max + depth) % cycle_len,
+                (depth_max + depth + 1) % cycle_len,
+            }
+        )
+        table = [
+            min(((s - off - 1) % cycle_len) + 1 for s in slots)
+            for off in range(cycle_len)
+        ]
+        _WAKE_TABLES[key] = table
+    return table
 
 
 @dataclass
@@ -70,6 +100,17 @@ class ClusterRole:
     reached_known_at: int | None = None  # when the down-flag turned true
     deact_at: int | None = None  # end of the cycle in which to retire
     deactivated: bool = False
+    # Filled by LowEnergyBFSNode.__init__ (scheduling hot-path constants):
+    up_off: int = field(default=0, repr=False)  # in-cycle convergecast slot
+    down_off: int = field(default=0, repr=False)  # in-cycle broadcast slot
+    wake_table: list = field(default=None, repr=False)  # shared next-slot table
+    # Hot-loop state (kept as plain role attributes rather than cid-keyed
+    # dicts on the node — one attribute load instead of a tuple-key hash):
+    live: bool = field(default=False, repr=False)  # active and not deactivated
+    up_any: bool = field(default=False, repr=False)  # folded child any-flags
+    up_all: bool = field(default=True, repr=False)  # folded child all-flags
+    last_up_cycle: int = field(default=-1, repr=False)  # dedup per-cycle up-send
+    down_seen: tuple | None = field(default=None, repr=False)  # (any, all, round)
 
 
 @dataclass
@@ -147,32 +188,74 @@ class LowEnergyBFSNode(NodeAlgorithm):
         # Per-role init convergecast buffers: cid -> accumulated OR.
         self._init_flag: dict = {}
         self._init_sent: set = set()
-        # Per-role cycle buffers: cid -> (any, all) folded from children.
-        self._up_any: dict = {}
-        self._up_all: dict = {}
-        self._up_sent: dict = {}
-        self._down_seen: dict = {}
         self._role_by_cid = {role.cid: role for role in roles}
+        # Activation cascade targets: my roles grouped by their parent cid.
+        self._roles_by_parent: dict = {}
+        for role in roles:
+            if role.parent_cid is not None:
+                self._roles_by_parent.setdefault(role.parent_cid, []).append(role)
+        # Hot-loop precomputation: roles grouped by level (one divmod per
+        # level per wake instead of one per role), per-role in-cycle slot
+        # offsets, the shared next-wake tables, and the node's one-shot
+        # init-block wake list.
+        by_level: dict[int, list[ClusterRole]] = {}
+        for role in roles:
+            by_level.setdefault(role.level, []).append(role)
+        # Each entry is ``(cyc, live_roles)`` where ``live_roles`` holds only
+        # currently-live roles: activations append, deactivations remove, so
+        # the per-wake pass never scans inactive roles and skips whole
+        # levels once they retire.
+        self._levels: list[tuple[int, list[ClusterRole]]] = []
+        self._live_list_of: dict[int, list[ClusterRole]] = {}
+        init_slots = {schedule.t0}
+        for level in sorted(by_level):
+            cyc = schedule.cycle_len[level]
+            depth_max = schedule.tree_depth[level]
+            for role in by_level[level]:
+                role.up_off = depth_max - role.depth
+                role.down_off = depth_max + role.depth + 1
+                role.wake_table = _wake_table(cyc, depth_max, role.depth)
+                init_slots.update(
+                    (role.up_off - 1, role.up_off, role.down_off - 1, role.down_off)
+                )
+            live_roles: list[ClusterRole] = []
+            self._levels.append((cyc, live_roles))
+            self._live_list_of[level] = live_roles
+        self._init_slots = sorted(s for s in init_slots if s >= 0)
+        self._l0_member_roles = [
+            role for role in roles if role.level == 0 and role.is_member
+        ]
+        # Roles activated by a cascade during the current _main_phase pass.
+        self._newly_live: list[ClusterRole] = []
+        # Scalar schedule constants, denormalized out of the per-wake
+        # attribute chain.
+        self._t0 = schedule.t0
+        self._t_end = schedule.t_end
 
     # ------------------------------------------------------------------
     def on_round(self, ctx: Context, inbox: list[tuple[object, object]]) -> None:
         r = ctx.round
-        self._ingest(inbox, r)
-        if r >= self.sched.t_end:
+        if inbox.senders:
+            self._ingest(inbox, r)
+        if r >= self._t_end:
             if self._finalized:
                 self.dist = self._best
             ctx.halt()
             return
-        if r < self.sched.t0:
+        if r < self._t0:
             self._init_phase(ctx, r)
+            if self._sends:
+                self._flush_sends(ctx, r)
+            self._schedule_init(ctx, r)
         else:
-            self._main_phase(ctx, r)
-        self._flush_sends(ctx, r)
-        self._schedule_next(ctx, r)
+            nxt = self._main_phase(ctx, r)
+            if self._sends:
+                self._flush_sends(ctx, r)
+            self._schedule_main(ctx, r, nxt)
 
     # ------------------------------------------------------------------
-    def _ingest(self, inbox: list, r: int) -> None:
-        for _sender, msg in inbox:
+    def _ingest(self, inbox, r: int) -> None:
+        for msg in inbox.payloads:
             tag = msg[0]
             if tag == "bfs":
                 if msg[1] < self._best:
@@ -188,22 +271,34 @@ class LowEnergyBFSNode(NodeAlgorithm):
                     self._init_flag[cid] = flag  # for forwarding
             elif tag == "up":
                 _, cid, any_flag, all_flag = msg
-                self._up_any[cid] = self._up_any.get(cid, False) or any_flag
-                self._up_all[cid] = self._up_all.get(cid, True) and all_flag
+                role = self._role_by_cid.get(cid)
+                if role is not None:
+                    if any_flag:
+                        role.up_any = True
+                    if not all_flag:
+                        role.up_all = False
             elif tag == "down":
                 _, cid, any_flag, all_flag = msg
                 self._handle_down(cid, any_flag, all_flag, r)
 
     def _handle_down(self, cid: tuple, any_flag: bool, all_flag: bool, r: int) -> None:
-        self._down_seen[cid] = (any_flag, all_flag, r)
         role = self._role_by_cid.get(cid)
-        if role is not None and any_flag and role.reached_known_at is None:
-            role.reached_known_at = r
+        if role is not None:
+            role.down_seen = (any_flag, all_flag, r)
+            if any_flag and role.reached_known_at is None:
+                role.reached_known_at = r
         # Activation cascade: my clusters whose parent just reported reached.
         if any_flag:
-            for child in self.roles:
-                if child.parent_cid == cid and child.active_from is None:
+            for child in self._roles_by_parent.get(cid, ()):
+                if child.active_from is None:
                     child.active_from = r
+                    child.live = not child.deactivated
+                    if child.live:
+                        self._live_list_of[child.level].append(child)
+                        # A root fold inside _main_phase can activate a role
+                        # at an already-visited (lower) level; remember it so
+                        # the merged schedule pass still counts its wakes.
+                        self._newly_live.append(child)
 
     # ------------------------------------------------------------------
     # initialization block: one convergecast/broadcast cycle per cluster,
@@ -239,86 +334,126 @@ class LowEnergyBFSNode(NodeAlgorithm):
             if role.parent_cid is None:
                 if role.contains_source:
                     role.active_from = self.sched.t0
+                    role.live = not role.deactivated
+                    if role.live:
+                        self._live_list_of[role.level].append(role)
             else:
                 parent_role = self._role_by_cid.get(role.parent_cid)
                 if parent_role is not None and parent_role.contains_source:
                     role.active_from = self.sched.t0
+                    role.live = not role.deactivated
+                    if role.live:
+                        self._live_list_of[role.level].append(role)
 
     # ------------------------------------------------------------------
-    def _main_phase(self, ctx: Context, r: int) -> None:
-        if r == self.sched.t0:
+    def _main_phase(self, ctx: Context, r: int) -> int | None:
+        """One main-phase wake: cluster-cycle actions plus, merged into the
+        same role pass, the earliest next cluster wake (returned; ``None``
+        when no live role schedules one)."""
+        sched = self.sched
+        if r == sched.t0:
             self._activate_at_init()
+        nxt: int | None = None
 
         # --- BFS ruler -------------------------------------------------
-        rel = r - self.sched.t0
-        if rel % self.sched.sigma == 0 and not self._finalized:
-            step = rel // self.sched.sigma
-            if self._best <= min(step, self.sched.threshold):
+        rel = r - sched.t0
+        if not self._finalized and rel % sched.sigma == 0:
+            step = rel // sched.sigma
+            if self._best <= min(step, sched.threshold):
                 self.dist = self._best
                 self._finalized = True
                 self._reached = True
                 d = int(self._best)
-                for v in ctx.neighbors:
-                    offer = d + ctx.weight(v)
-                    if offer <= self.sched.threshold:
-                        send_round = self.sched.step_round(offer - 1)
-                        self._sends.setdefault(max(send_round, r), []).append(
+                threshold = sched.threshold
+                sends = self._sends
+                for v, w in zip(ctx.neighbors, ctx.edge_weights):
+                    offer = d + w
+                    if offer <= threshold:
+                        send_round = sched.step_round(offer - 1)
+                        sends.setdefault(max(send_round, r), []).append(
                             (v, ("bfs", offer))
                         )
 
         # --- periodic cluster cycles ------------------------------------
-        for role in self.roles:
-            if role.active_from is None or role.deactivated or r < role.active_from:
+        for cyc, live_roles in self._levels:
+            if not live_roles:
                 continue
-            if role.deact_at is not None and r >= role.deact_at:
-                role.deactivated = True
-                continue
-            cyc = self.sched.cycle_len[role.level]
-            depth_max = self.sched.tree_depth[role.level]
             cycle_index, offset = divmod(rel, cyc)
-            cycle_start = self.sched.t0 + cycle_index * cyc
-            if offset == depth_max - role.depth:
-                key = (role.cid, cycle_index)
-                if key not in self._up_sent:
-                    self._up_sent[key] = True
-                    any_flag = self._up_any.pop(role.cid, False) or (
-                        role.is_member and self._reached
-                    )
-                    all_flag = self._up_all.pop(role.cid, True) and (
-                        not role.is_member or self._reached
-                    )
-                    if role.tree_parent is None:
-                        # Root: fold; the result goes out at the down slot.
-                        # Freshly activated clusters may still have members
-                        # that joined mid-cycle and did not report, so the
-                        # all-members flag is not trusted until one warm-up
-                        # window has passed (prevents premature level-0
-                        # deactivation on vacuous AND-folds).
-                        warmup = 2 * cyc + self.sched.cycle_len[
-                            min(role.level + 1, len(self.sched.cycle_len) - 1)
-                        ]
-                        if cycle_start < role.active_from + warmup:
-                            all_flag = False
-                        self._handle_down(role.cid, any_flag, all_flag, r)
+            cycle_start = sched.t0 + cycle_index * cyc
+            dead = None
+            for role in live_roles:
+                deact_at = role.deact_at
+                if deact_at is not None and r >= deact_at:
+                    role.deactivated = True
+                    role.live = False
+                    if dead is None:
+                        dead = [role]
                     else:
-                        ctx.send(role.tree_parent, ("up", role.cid, any_flag, all_flag))
-            elif offset == depth_max + role.depth + 1:
-                seen = self._down_seen.get(role.cid)
-                if seen is not None and seen[2] >= cycle_start:
-                    any_flag, all_flag, _ = seen
-                    for child in role.children:
-                        ctx.send(child, ("down", role.cid, any_flag, all_flag))
-            # Deactivation: two full cycles after "reached" became known
-            # (level 0 additionally requires the all-members flag).  It takes
-            # effect at the *end* of the current cycle so the decisive
-            # down-broadcast still drains to the whole tree first.
-            if role.reached_known_at is not None and role.deact_at is None:
-                ready = r >= role.reached_known_at + 2 * cyc
-                if role.level == 0:
-                    seen = self._down_seen.get(role.cid)
-                    ready = ready and seen is not None and seen[1]
-                if ready:
-                    role.deact_at = cycle_start + cyc
+                        dead.append(role)
+                    continue
+                if offset == role.up_off:
+                    if role.last_up_cycle != cycle_index:
+                        role.last_up_cycle = cycle_index
+                        any_flag = (role.is_member and self._reached) or role.up_any
+                        all_flag = role.up_all and (
+                            not role.is_member or self._reached
+                        )
+                        role.up_any = False
+                        role.up_all = True
+                        if role.tree_parent is None:
+                            # Root: fold; the result goes out at the down slot.
+                            # Freshly activated clusters may still have members
+                            # that joined mid-cycle and did not report, so the
+                            # all-members flag is not trusted until one warm-up
+                            # window has passed (prevents premature level-0
+                            # deactivation on vacuous AND-folds).
+                            warmup = 2 * cyc + sched.cycle_len[
+                                min(role.level + 1, len(sched.cycle_len) - 1)
+                            ]
+                            if cycle_start < role.active_from + warmup:
+                                all_flag = False
+                            self._handle_down(role.cid, any_flag, all_flag, r)
+                        else:
+                            ctx.send(role.tree_parent, ("up", role.cid, any_flag, all_flag))
+                elif offset == role.down_off:
+                    seen = role.down_seen
+                    if seen is not None and seen[2] >= cycle_start:
+                        any_flag, all_flag, _ = seen
+                        for child in role.children:
+                            ctx.send(child, ("down", role.cid, any_flag, all_flag))
+                # Deactivation: two full cycles after "reached" became known
+                # (level 0 additionally requires the all-members flag).  It
+                # takes effect at the *end* of the current cycle so the
+                # decisive down-broadcast still drains to the whole tree
+                # first.
+                if role.reached_known_at is not None and deact_at is None:
+                    ready = r >= role.reached_known_at + 2 * cyc
+                    if role.level == 0:
+                        seen = role.down_seen
+                        ready = ready and seen is not None and seen[1]
+                    if ready:
+                        deact_at = role.deact_at = cycle_start + cyc
+                # Next-wake candidate for this role (the merged former
+                # _schedule_next body; re-reads deact_at set just above).
+                if deact_at is None or r + 1 < deact_at:
+                    slot = r + role.wake_table[offset]
+                    if nxt is None or slot < nxt:
+                        nxt = slot
+            if dead is not None:
+                for role in dead:
+                    live_roles.remove(role)
+        newly = self._newly_live
+        if newly:
+            # Cascade-activated roles at already-visited levels contribute
+            # their wakes too (the old two-pass code saw them post-pass).
+            for role in newly:
+                if role.live and (role.deact_at is None or r + 1 < role.deact_at):
+                    table = role.wake_table
+                    slot = r + table[rel % len(table)]
+                    if nxt is None or slot < nxt:
+                        nxt = slot
+            newly.clear()
+        return nxt
 
     # ------------------------------------------------------------------
     def _flush_sends(self, ctx: Context, r: int) -> None:
@@ -337,63 +472,45 @@ class LowEnergyBFSNode(NodeAlgorithm):
             # Safety net: a pending candidate always keeps the step wakes
             # (the activation invariant should make this redundant).
             return True
-        for role in self.roles:
-            if (
-                role.level == 0
-                and role.is_member
-                and role.active_from is not None
-                and not role.deactivated
-            ):
+        for role in self._l0_member_roles:
+            if role.live:
                 return True
         return False
 
-    def _schedule_next(self, ctx: Context, r: int) -> None:
-        # Hot path (one call per awake node per round): track the earliest
-        # future candidate directly instead of materializing them all.
-        nxt = self.sched.t_end if self.sched.t_end > r else None
-        if r < self.sched.t0:
-            for role in self.roles:
-                depth_max = self.sched.tree_depth[role.level]
-                for slot in (
-                    depth_max - role.depth - 1,
-                    depth_max - role.depth,
-                    depth_max + role.depth,
-                    depth_max + role.depth + 1,
-                ):
-                    if slot > r and (nxt is None or slot < nxt):
-                        nxt = slot
-            if self.sched.t0 > r and (nxt is None or self.sched.t0 < nxt):
-                nxt = self.sched.t0
-        else:
-            rel = r - self.sched.t0
-            for role in self.roles:
-                if role.active_from is None or role.deactivated:
-                    continue
-                if role.deact_at is not None and r + 1 >= role.deact_at:
-                    continue
-                cyc = self.sched.cycle_len[role.level]
-                depth_max = self.sched.tree_depth[role.level]
-                base = self.sched.t0 + (rel // cyc) * cyc
-                for cycle_base in (base, base + cyc):
-                    for slot_offset in (
-                        depth_max - role.depth - 1,
-                        depth_max - role.depth,
-                        depth_max + role.depth,
-                        depth_max + role.depth + 1,
-                    ):
-                        slot = cycle_base + slot_offset
-                        if slot > r and (nxt is None or slot < nxt):
-                            nxt = slot
-            if self._bfs_awake():
-                next_step = self.sched.t0 + ((rel // self.sched.sigma) + 1) * self.sched.sigma
-                if next_step > r and (nxt is None or next_step < nxt):
-                    nxt = next_step
-        for send_round in self._sends:
-            if send_round > r and (nxt is None or send_round < nxt):
-                nxt = send_round
+    def _schedule_init(self, ctx: Context, r: int) -> None:
+        sched = self.sched
+        nxt = sched.t_end if sched.t_end > r else None
+        # One-shot init-block slots, precomputed and sorted per node
+        # (t0 itself is in the list).
+        slots = self._init_slots
+        k = bisect_right(slots, r)
+        if k < len(slots) and (nxt is None or slots[k] < nxt):
+            nxt = slots[k]
+        if self._sends:
+            for send_round in self._sends:
+                if send_round > r and (nxt is None or send_round < nxt):
+                    nxt = send_round
         if nxt is None:
             raise ValueError("no future wake candidate")
-        ctx.wake_at(nxt)
+        ctx.wake_at_unchecked(nxt)  # sole schedule writer; candidates are > r
+
+    def _schedule_main(self, ctx: Context, r: int, nxt: int | None) -> None:
+        """Finish the merged schedule: BFS-step, pending sends, t_end."""
+        sched = self.sched
+        if sched.t_end > r and (nxt is None or sched.t_end < nxt):
+            nxt = sched.t_end
+        if self._bfs_awake():
+            sigma = sched.sigma
+            next_step = sched.t0 + ((r - sched.t0) // sigma + 1) * sigma
+            if nxt is None or next_step < nxt:
+                nxt = next_step
+        if self._sends:
+            for send_round in self._sends:
+                if send_round > r and (nxt is None or send_round < nxt):
+                    nxt = send_round
+        if nxt is None:
+            raise ValueError("no future wake candidate")
+        ctx.wake_at_unchecked(nxt)  # sole schedule writer; candidates are > r
 
 
 def run_low_energy_bfs(

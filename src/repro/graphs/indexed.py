@@ -23,6 +23,7 @@ runner uses for O(1) per-round edge-capacity accounting.
 from __future__ import annotations
 
 from collections.abc import Iterator
+from itertools import repeat
 
 __all__ = ["IndexedGraph"]
 
@@ -51,6 +52,10 @@ class IndexedGraph:
         "num_nodes",
         "num_edges",
         "_node_views",
+        "_port_pairs",
+        "_port_src_labels",
+        "_broadcast_views",
+        "_engine_pool",
     )
 
     def __init__(self, graph) -> None:
@@ -59,11 +64,23 @@ class IndexedGraph:
         indptr = [0]
         nbr: list[int] = []
         wt: list[int] = []
-        for u in labels:
-            for v in graph.neighbors(u):
-                nbr.append(index_of[v])
-                wt.append(graph.weight(u, v))
-            indptr.append(len(nbr))
+        adj = getattr(graph, "_adj", None)
+        if adj is not None:
+            # Fast path for the standard Graph: bulk-copy each adjacency row
+            # (keys mapped through index_of, values verbatim) instead of one
+            # weight lookup per directed edge.
+            index_lookup = index_of.__getitem__
+            for u in labels:
+                row = adj[u]
+                nbr.extend(map(index_lookup, row))
+                wt.extend(row.values())
+                indptr.append(len(nbr))
+        else:
+            for u in labels:
+                for v in graph.neighbors(u):
+                    nbr.append(index_of[v])
+                    wt.append(graph.weight(u, v))
+                indptr.append(len(nbr))
         self.labels = labels
         self.index_of = index_of
         self.indptr = indptr
@@ -72,6 +89,12 @@ class IndexedGraph:
         self.num_nodes = len(labels)
         self.num_edges = len(nbr) // 2
         self._node_views: list[tuple] | None = None
+        self._port_pairs: list[tuple] | None = None
+        self._port_src_labels: list | None = None
+        self._broadcast_views: list[list] | None = None
+        # Single-slot pool of runner engine state (contexts, inboxes, port
+        # loads) — checked out by Runner.__init__, returned by a clean run().
+        self._engine_pool: tuple | None = None
 
     # ------------------------------------------------------------------
     @classmethod
@@ -100,12 +123,15 @@ class IndexedGraph:
         return self.wt[self.indptr[i] : self.indptr[i + 1]]
 
     def node_views(self) -> list[tuple]:
-        """Per-node ``(neighbor_labels, weight_by_label, port_by_label)``.
+        """Per-node ``(neighbor_labels, weights, port_by_label, lo, hi)``.
 
-        ``port_by_label[v] = (port_id, v_index, weight)`` — everything a
-        node-local send needs in one dict hit.  Built lazily once and shared
-        by every :class:`~repro.sim.Runner` over this view, which is the big
-        win for recursive algorithms that spin up many runners per graph.
+        ``weights`` is a tuple aligned with ``neighbor_labels`` (the bulk
+        weight accessor); ``port_by_label[v] = (port_id, v_index, weight)``
+        — everything a node-local send needs in one dict hit; ``lo:hi`` is
+        the node's CSR port slice (the broadcast fast path meters it as one
+        block).  Built lazily once and shared by every
+        :class:`~repro.sim.Runner` over this view, which is the big win for
+        recursive algorithms that spin up many runners per graph.
         """
         views = self._node_views
         if views is None:
@@ -114,13 +140,65 @@ class IndexedGraph:
             for i in range(self.num_nodes):
                 lo, hi = self.indptr[i], self.indptr[i + 1]
                 nbr_labels = tuple(labels[j] for j in self.nbr[lo:hi])
-                weights = {v: self.wt[lo + k] for k, v in enumerate(nbr_labels)}
                 ports = {
                     v: (lo + k, self.nbr[lo + k], self.wt[lo + k])
                     for k, v in enumerate(nbr_labels)
                 }
-                views.append((nbr_labels, weights, ports))
+                views.append((nbr_labels, tuple(self.wt[lo:hi]), ports, lo, hi))
             self._node_views = views
+        return views
+
+    def port_pairs(self) -> list[tuple]:
+        """Flat per-port ``(src_label, dst_label)`` table (parallel to ``nbr``).
+
+        Used by the runner's per-message slow path (tracing metrics); the
+        fast path folds port counts through :meth:`port_src_labels` instead.
+        Built lazily once per view.
+        """
+        pairs = self._port_pairs
+        if pairs is None:
+            labels = self.labels
+            indptr = self.indptr
+            nbr = self.nbr
+            pairs = []
+            for i in range(self.num_nodes):
+                src = labels[i]
+                pairs.extend((src, labels[j]) for j in nbr[indptr[i] : indptr[i + 1]])
+            self._port_pairs = pairs
+        return pairs
+
+    def port_src_labels(self) -> list:
+        """Flat per-port sender-label column (parallel to ``nbr``).
+
+        ``port_src_labels()[p]`` is the label of the node that owns port
+        ``p`` — what delivery writes into the inbox ``senders`` column
+        without building a label pair per message.  Built lazily once per
+        view with bulk ``repeat`` extends (no per-port Python work).
+        """
+        out = self._port_src_labels
+        if out is None:
+            indptr = self.indptr
+            out = []
+            for i, label in enumerate(self.labels):
+                out.extend(repeat(label, indptr[i + 1] - indptr[i]))
+            self._port_src_labels = out
+        return out
+
+    def broadcast_views(self) -> list[list]:
+        """Per-node neighbor-index runs (``nbr`` slices) for broadcast expansion.
+
+        The delivery phase expands one broadcast record by walking this
+        list instead of re-slicing the CSR arrays per record.  Built lazily
+        on the first broadcast over this view.
+        """
+        views = self._broadcast_views
+        if views is None:
+            indptr = self.indptr
+            nbr = self.nbr
+            views = [
+                nbr[indptr[i] : indptr[i + 1]] for i in range(self.num_nodes)
+            ]
+            self._broadcast_views = views
         return views
 
     # ------------------------------------------------------------------

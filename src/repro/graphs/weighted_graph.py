@@ -126,19 +126,32 @@ class Graph:
         return self._adj[u][v]
 
     def edges(self) -> Iterator[tuple[object, object, int]]:
-        """Iterate each undirected edge exactly once as ``(u, v, w)``."""
-        seen: set[frozenset] = set()
+        """Iterate each undirected edge exactly once as ``(u, v, w)``.
+
+        An edge is emitted when its first endpoint (in node insertion order)
+        is visited — one set lookup per directed edge, no per-edge key
+        objects.
+        """
+        done: set = set()
         for u, nbrs in self._adj.items():
             for v, w in nbrs.items():
-                key = frozenset((u, v))
-                if key in seen:
-                    continue
-                seen.add(key)
-                yield u, v, w
+                if v not in done:
+                    yield u, v, w
+            done.add(u)
 
     def max_weight(self) -> int:
         """Largest edge weight (0 for an edgeless graph)."""
-        return max((w for _, _, w in self.edges()), default=0)
+        # Each undirected edge appears in both adjacency rows; the max is
+        # unaffected, and scanning rows directly skips edge dedup entirely.
+        return max(
+            (max(nbrs.values()) for nbrs in self._adj.values() if nbrs), default=0
+        )
+
+    def min_weight(self) -> int:
+        """Smallest edge weight (0 for an edgeless graph)."""
+        return min(
+            (min(nbrs.values()) for nbrs in self._adj.values() if nbrs), default=0
+        )
 
     def weighted_diameter_upper_bound(self) -> int:
         """The paper's coarse bound ``n * max_weight >= max dist`` (Sec 2.2)."""
@@ -155,12 +168,20 @@ class Graph:
         """
         keep_set = set(keep)
         sub = Graph()
+        sub_adj = sub._adj
         for u in keep_set:
             if u in self._adj:
-                sub.add_node(u)
-        for u, v, w in self.edges():
-            if u in keep_set and v in keep_set:
-                sub.add_edge(u, v, w)
+                sub_adj[u] = {}
+        # Walk only the kept rows (O(sum of kept degrees), not O(m)) and
+        # write the half-rows directly — the weights were validated when the
+        # parent graph was built.
+        directed = 0
+        for u, row in sub_adj.items():
+            for v, w in self._adj[u].items():
+                if v in sub_adj:
+                    row[v] = w
+                    directed += 1
+        sub._num_edges = directed // 2
         return sub
 
     def reweighted(self, fn) -> "Graph":
@@ -168,12 +189,24 @@ class Graph:
 
         The Nanongkai rounding trick (Lemma 2.1) is a reweighting followed by
         a weighted BFS; this helper keeps that transformation explicit.
+        ``fn`` is called exactly once per undirected edge, in ``edges()``
+        order (stateful fns like seeded RNG draws rely on both), with the
+        rows written directly instead of going through ``add_edge``.
         """
         out = Graph()
-        for u in self.nodes():
-            out.add_node(u)
+        out_adj = out._adj
+        for u in self._adj:
+            out_adj[u] = {}
         for u, v, w in self.edges():
-            out.add_edge(u, v, fn(w))
+            raw = fn(w)
+            nw = int(raw)
+            if nw != raw or nw < 0:
+                raise ValueError(
+                    f"edge weight must be a nonnegative integer, got {raw!r}"
+                )
+            out_adj[u][v] = nw
+            out_adj[v][u] = nw
+        out._num_edges = self._num_edges
         return out
 
     # ------------------------------------------------------------------

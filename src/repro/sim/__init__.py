@@ -1,7 +1,7 @@
 """Simulator of the synchronous CONGEST model and its sleeping variant."""
 
 from .metrics import Metrics
-from .runner import Context, Mode, NodeAlgorithm, Runner, SimulationError
+from .runner import Context, Inbox, Mode, NodeAlgorithm, Runner, SimulationError
 from .reference import ReferenceRunner
 from .trace import TracingMetrics
 
@@ -9,6 +9,7 @@ __all__ = [
     "Metrics",
     "TracingMetrics",
     "Context",
+    "Inbox",
     "Mode",
     "NodeAlgorithm",
     "Runner",

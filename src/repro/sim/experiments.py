@@ -34,6 +34,17 @@ Notes on parallelism: workers are forked, so scenarios registered at import
 time (including any registered by your own modules before the sweep starts)
 are visible to them.  On platforms without ``fork`` the sweep silently runs
 sequentially — same rows, just slower.
+
+Graph caching: scenario cells that share a ``(family, max_weight, n, seed)``
+instance — e.g. ``sssp/er`` and ``bellman-ford/er`` at the same size and
+seed — reuse one graph object per worker instead of regenerating it, which
+also carries the frozen :class:`~repro.graphs.IndexedGraph` view across
+cells.  ``run_sweep`` groups the task list by instance key so each group
+lands on one worker (maximizing cache hits), then restores cross-product
+row order before returning — the tidy table is bit-identical at any worker
+count, cache hits or not.  Algorithms must treat graphs as read-only (the
+library-wide append-only convention); :func:`clear_graph_cache` drops the
+cache (mostly for tests).
 """
 
 from __future__ import annotations
@@ -56,6 +67,7 @@ __all__ = [
     "run_scenario",
     "run_sweep",
     "smoke_sweep",
+    "clear_graph_cache",
     "ROW_FIELDS",
 ]
 
@@ -247,10 +259,42 @@ for _scenario in (
 # ----------------------------------------------------------------------
 # orchestration
 # ----------------------------------------------------------------------
+#: Per-process cache of generated graph instances, keyed by
+#: ``(family, max_weight, n, seed)`` — the full determinant of an instance.
+#: Bounded FIFO so long ad-hoc sweeps cannot grow it without limit.
+_GRAPH_CACHE: dict[tuple, object] = {}
+_GRAPH_CACHE_CAP = 64
+
+
+def clear_graph_cache() -> None:
+    """Drop the per-process graph cache (test hook)."""
+    _GRAPH_CACHE.clear()
+
+
+def _instance_key(scenario: Scenario, n: int, seed: int) -> tuple:
+    return (scenario.family, scenario.max_weight, n, seed)
+
+
+def _cached_graph(scenario: Scenario, n: int, seed: int):
+    key = _instance_key(scenario, n, seed)
+    graph = _GRAPH_CACHE.get(key)
+    if graph is None:
+        graph = scenario.build_graph(n, seed)
+        if len(_GRAPH_CACHE) >= _GRAPH_CACHE_CAP:
+            _GRAPH_CACHE.pop(next(iter(_GRAPH_CACHE)))
+        _GRAPH_CACHE[key] = graph
+    return graph
+
+
 def run_scenario(name: str, n: int, seed: int = 0) -> dict:
-    """Run one (scenario, size, seed) cell and return its tidy row."""
+    """Run one (scenario, size, seed) cell and return its tidy row.
+
+    The graph instance comes from the per-process cache, so scenarios that
+    share a family/size/seed cell reuse one graph (and its indexed view).
+    Drivers must not mutate it — the library-wide append-only convention.
+    """
     scenario = get_scenario(name)
-    graph = scenario.build_graph(n, seed)
+    graph = _cached_graph(scenario, n, seed)
     metrics = Metrics()
     driver = _ALGORITHMS[scenario.algorithm]
     driver(graph, seed, metrics, **dict(scenario.params))
@@ -270,8 +314,9 @@ def run_scenario(name: str, n: int, seed: int = 0) -> dict:
     }
 
 
-def _run_task(task: tuple[str, int, int]) -> dict:
-    return run_scenario(*task)
+def _run_task_group(group: list[tuple[int, str, int, int]]) -> list[tuple[int, dict]]:
+    """Run one locality group of ``(index, name, n, seed)`` tasks in order."""
+    return [(index, run_scenario(name, n, seed)) for index, name, n, seed in group]
 
 
 def run_sweep(
@@ -287,19 +332,39 @@ def run_sweep(
     content are identical either way: rows follow the task cross product
     (scenario-major, then size, then seed) and contain only deterministic
     fields (:data:`ROW_FIELDS`).
+
+    Dispatch is chunked by graph instance: cells sharing a
+    ``(family, max_weight, n, seed)`` instance form one group, so a worker
+    builds each graph once and serves every scenario over it from its
+    per-process cache.  Results are re-ordered back to cross-product order,
+    so grouping never changes the table.
     """
     names = list(scenarios) if scenarios is not None else list_scenarios()
     for name in names:
         get_scenario(name)  # fail fast on unknown names, before forking
     tasks = [(name, n, seed) for name in names for n in sizes for seed in seeds]
-    if workers is not None and workers > 1 and len(tasks) > 1:
+    # Group by graph-instance key (first-seen order) for cache locality.
+    groups: dict[tuple, list[tuple[int, str, int, int]]] = {}
+    for index, (name, n, seed) in enumerate(tasks):
+        key = _instance_key(get_scenario(name), n, seed)
+        groups.setdefault(key, []).append((index, name, n, seed))
+    group_list = list(groups.values())
+    rows: list[dict | None] = [None] * len(tasks)
+    if workers is not None and workers > 1 and len(group_list) > 1:
         try:
             context = multiprocessing.get_context("fork")
         except ValueError:
-            return [_run_task(task) for task in tasks]
-        with context.Pool(min(workers, len(tasks))) as pool:
-            return pool.map(_run_task, tasks)
-    return [_run_task(task) for task in tasks]
+            context = None
+        if context is not None:
+            with context.Pool(min(workers, len(group_list))) as pool:
+                for chunk in pool.map(_run_task_group, group_list):
+                    for index, row in chunk:
+                        rows[index] = row
+            return rows
+    for group in group_list:
+        for index, row in _run_task_group(group):
+            rows[index] = row
+    return rows
 
 
 def smoke_sweep(workers: int | None = None) -> list[dict]:

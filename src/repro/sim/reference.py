@@ -19,7 +19,7 @@ from collections import Counter
 
 from ..graphs import Graph
 from .metrics import Metrics
-from .runner import _IDLE, Mode, NodeAlgorithm, SimulationError
+from .runner import _IDLE, Inbox, Mode, NodeAlgorithm, SimulationError
 
 __all__ = ["ReferenceRunner"]
 
@@ -41,6 +41,10 @@ class _ReferenceContext:
     @property
     def neighbors(self) -> tuple:
         return self._neighbors
+
+    @property
+    def edge_weights(self) -> tuple:
+        return tuple(self._weights[v] for v in self._neighbors)
 
     def weight(self, neighbor: object) -> int:
         return self._weights[neighbor]
@@ -68,6 +72,9 @@ class _ReferenceContext:
 
     def sleep_for(self, rounds: int) -> None:
         self.wake_at(self.round + rounds)
+
+    def wake_at_unchecked(self, round_number: int) -> None:
+        self._next_wake = round_number
 
     def idle(self) -> None:
         self._next_wake = _IDLE
@@ -101,7 +108,11 @@ class ReferenceRunner:
         self.metrics = metrics if metrics is not None else Metrics()
         self.max_rounds = max_rounds
         self._contexts = {u: _ReferenceContext(self, u) for u in graph.nodes()}
-        self._mailboxes: dict[object, list] = {u: [] for u in graph.nodes()}
+        # Mailboxes are Inbox views (same shape the fast engine hands out),
+        # so the oracle can run the library's real algorithms — which read
+        # the columnar ``senders`` / ``payloads`` attributes — not just the
+        # differential-test protocols.
+        self._mailboxes: dict[object, Inbox] = {u: Inbox() for u in graph.nodes()}
         self._outbox: list[tuple[object, object, object]] = []
         self._edge_load: Counter = Counter()
 
@@ -149,7 +160,7 @@ class ReferenceRunner:
                 ctx._next_wake = None
                 self._next_wake_of[u] = None
                 inbox = self._mailboxes[u]
-                self._mailboxes[u] = []
+                self._mailboxes[u] = Inbox()
                 self.algorithms[u].on_round(ctx, inbox)
                 self.metrics.record_awake(u, self.round_width)
 
@@ -165,11 +176,15 @@ class ReferenceRunner:
                     delivered = dst in awake and not self._contexts[dst]._halted
                     self.metrics.record_send(src, dst, delivered)
                     if delivered:
-                        self._mailboxes[dst].append((src, payload))
+                        box = self._mailboxes[dst]
+                        box.senders.append(src)
+                        box.payloads.append(payload)
                 else:
                     self.metrics.record_send(src, dst, True)
                     if not self._contexts[dst]._halted:
-                        self._mailboxes[dst].append((src, payload))
+                        box = self._mailboxes[dst]
+                        box.senders.append(src)
+                        box.payloads.append(payload)
                         self._schedule(dst, r + 1)
 
         self.metrics.record_rounds((last_round + 1) * self.round_width)

@@ -33,32 +33,54 @@ Engine
 ------
 The runner executes on the frozen :class:`~repro.graphs.IndexedGraph` view
 of the network (built once per graph and cached on it), so all per-round
-bookkeeping is integer-indexed array work:
+bookkeeping is integer-indexed array work.  The message plane is
+*columnar*: per-round state lives in flat parallel arrays, not per-message
+objects.
 
-* mailboxes are a flat ``list`` indexed by node index, not a dict;
-* the wake schedule is a bucketed ring (calendar queue) over upcoming
-  rounds with an overflow map for far-future wakes — no heap churn and no
-  per-round set filtering;
+* the outbox is a pair of parallel lists ``(port_id, payload)`` — a unicast
+  send appends one integer and one payload, no tuple is built;
+* :meth:`Context.broadcast` is a fast path: one batched capacity check
+  against the node's CSR port slice, one touched-list extend, and a single
+  ``(src_index, payload)`` record that the delivery phase expands — not
+  ``degree`` individual sends;
+* delivery writes into reusable per-node :class:`Inbox` buffers (parallel
+  ``senders`` / ``payloads`` lists cleared by truncation after each node
+  steps), with sender labels taken from a precomputed per-port label table
+  — steady-state rounds allocate no per-message tuples;
+* the wake schedule is a heap of *distinct pending rounds* over per-round
+  integer buckets, so quiet stretches between wakes are skipped outright
+  (a round is pushed once when its bucket is created — no per-node heap
+  churn);
 * per-round edge-capacity accounting is a flat per-port counter array reset
   via a touched-list, not a fresh ``Counter`` per round;
 * awake nodes step in node-index order (graph insertion order), which is
-  deterministic and replaces the old ``sorted(awake, key=repr)`` hot path.
+  deterministic.
+
+The :class:`Inbox` handed to ``on_round`` is a *view* over the runner's
+reusable buffers: it iterates as ``(sender, payload)`` pairs exactly like
+the old list-of-tuples mailbox, but it is valid **only during that
+``on_round`` call** — algorithms that need the contents later must copy
+them (``list(inbox)``).
 
 Semantics are identical to :class:`repro.sim.reference.ReferenceRunner`
 (the retained original implementation); the differential tests in
 ``tests/test_runner_differential.py`` pin the two engines to byte-identical
-metrics.
+metrics, including broadcast-heavy, megaround and ``edge_capacity > 1``
+protocols in both modes.
 """
 
 from __future__ import annotations
 
 import enum
+from collections import Counter
+from heapq import heappop, heappush
+from itertools import repeat
 
 from ..graphs import Graph
 from ..graphs.indexed import IndexedGraph
 from .metrics import Metrics
 
-__all__ = ["Mode", "Context", "NodeAlgorithm", "Runner", "SimulationError"]
+__all__ = ["Mode", "Context", "Inbox", "NodeAlgorithm", "Runner", "SimulationError"]
 
 
 class Mode(enum.Enum):
@@ -75,23 +97,82 @@ class SimulationError(RuntimeError):
 #: Sentinel for :meth:`Context.idle` — sleep with no scheduled wake.
 _IDLE = -1
 
+#: Deferred metric logs fold into their counters once they reach this many
+#: entries, bounding runner memory on message-heavy executions.
+_LOG_FOLD = 1 << 20
+
+
+def _fold_wakes(awake_rounds: Counter, wake_log: list, labels: list, width: int) -> None:
+    for i, count in Counter(wake_log).items():
+        awake_rounds[labels[i]] += count * width
+
+
+def _fold_ports(edge_messages: Counter, port_log: list, port_src: list,
+                labels: list, nbr: list) -> None:
+    for port_id, count in Counter(port_log).items():
+        edge_messages[(port_src[port_id], labels[nbr[port_id]])] += count
+
+
+def _fold_bcasts(edge_messages: Counter, bcast_log: list, labels: list,
+                 nbr: list, indptr: list) -> None:
+    for src_i, count in Counter(bcast_log).items():
+        sender = labels[src_i]
+        for port_id in range(indptr[src_i], indptr[src_i + 1]):
+            edge_messages[(sender, labels[nbr[port_id]])] += count
+
 #: ``next_wake`` marker for "no live wake scheduled".
 _NONE = -1
 
-#: Ring size (power of two).  Wakes within this many rounds of the current
-#: one live in the ring; anything further sits in the overflow map until the
-#: window slides over it.
-_RING = 1024
-_MASK = _RING - 1
+
+class Inbox:
+    """Columnar mailbox view: parallel ``senders`` / ``payloads`` lists.
+
+    Iterating yields ``(sender, payload)`` pairs, so existing algorithms
+    written against the list-of-tuples mailbox keep working unchanged; hot
+    algorithms may read the parallel lists directly.  The view is backed by
+    the runner's reusable per-node buffers and is valid **only during the
+    ``on_round`` call it was handed to** — the runner truncates the buffers
+    when the node's step returns.  Copy (``list(inbox)``) to keep contents.
+    """
+
+    __slots__ = ("senders", "payloads")
+
+    def __init__(self) -> None:
+        self.senders: list = []
+        self.payloads: list = []
+
+    def __len__(self) -> int:
+        return len(self.senders)
+
+    def __bool__(self) -> bool:
+        return bool(self.senders)
+
+    def __iter__(self):
+        return zip(self.senders, self.payloads)
+
+    def __getitem__(self, key):
+        if isinstance(key, slice):
+            return list(zip(self.senders[key], self.payloads[key]))
+        return (self.senders[key], self.payloads[key])
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, Inbox):
+            return self.senders == other.senders and self.payloads == other.payloads
+        if isinstance(other, (list, tuple)):
+            return list(self) == list(other)
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        return f"Inbox({list(self)!r})"
 
 
 class Context:
     """Per-node handle through which an algorithm interacts with the network.
 
     Exposes the node's local view only: its id, its incident edges and their
-    weights, the current round, and the actions *send*, *sleep*, *halt*.
-    Algorithms must not touch the graph globally — that is what keeps the
-    implementations honest distributed algorithms.
+    weights, the current round, and the actions *send*, *broadcast*, *sleep*,
+    *halt*.  Algorithms must not touch the graph globally — that is what
+    keeps the implementations honest distributed algorithms.
     """
 
     __slots__ = (
@@ -102,6 +183,8 @@ class Context:
         "_neighbors",
         "_weights",
         "_ports",
+        "_lo",
+        "_hi",
         "_next_wake",
         "_halted",
     )
@@ -113,7 +196,7 @@ class Context:
         self._index = index
         # Shared, read-only per-node structures from IndexedGraph.node_views()
         # — built once per graph, reused by every runner over it.
-        self._neighbors, self._weights, self._ports = view
+        self._neighbors, self._weights, self._ports, self._lo, self._hi = view
         self._next_wake: int | None = None
         self._halted = False
 
@@ -122,8 +205,19 @@ class Context:
     def neighbors(self) -> tuple:
         return self._neighbors
 
+    @property
+    def edge_weights(self) -> tuple:
+        """Weights aligned with :attr:`neighbors` — the bulk accessor.
+
+        ``zip(ctx.neighbors, ctx.edge_weights)`` is the no-lookup way to
+        walk incident edges in hot per-node loops.
+        """
+        return self._weights
+
     def weight(self, neighbor: object) -> int:
-        return self._weights[neighbor]
+        # One dict hit on the port table (which the send path needs anyway)
+        # instead of a second weight-only dict.
+        return self._ports[neighbor][2]
 
     @property
     def degree(self) -> int:
@@ -135,7 +229,7 @@ class Context:
         port = self._ports.get(neighbor)
         if port is None:
             raise SimulationError(f"{self.node!r} tried to message non-neighbor {neighbor!r}")
-        port_id, dst_index, _weight = port
+        port_id, _dst_index, _weight = port
         runner = self._runner
         load = runner._edge_load
         count = load[port_id] + 1
@@ -148,12 +242,46 @@ class Context:
         load[port_id] = count
         if count == 1:
             runner._touched.append(port_id)
-        runner._outbox.append((self._index, dst_index, payload))
+        runner._out_ports.append(port_id)
+        runner._out_payloads.append(payload)
 
     def broadcast(self, payload: object) -> None:
-        """Send ``payload`` to every neighbor (one message per edge)."""
-        for v in self._neighbors:
-            self.send(v, payload)
+        """Send ``payload`` to every neighbor (one message per edge).
+
+        Fast path: the node's whole CSR port slice is metered in one batched
+        capacity check and the outbox records a single ``(src, payload)``
+        entry that the delivery phase expands — per-edge Python work is
+        avoided entirely in the common ``edge_capacity == 1`` case.
+        """
+        lo, hi = self._lo, self._hi
+        if lo == hi:
+            return
+        runner = self._runner
+        load = runner._edge_load
+        if runner.edge_capacity == 1 and not any(load[lo:hi]):
+            load[lo:hi] = repeat(1, hi - lo)
+            runner._touched.extend(range(lo, hi))
+        else:
+            self._meter_ports(load, runner)
+        runner._bcast_src.append(self._index)
+        runner._bcast_payloads.append(payload)
+
+    def _meter_ports(self, load: list, runner: "Runner") -> None:
+        """Per-port capacity metering for broadcasts (capacity > 1 or reuse)."""
+        cap = runner.edge_capacity
+        touched = runner._touched
+        neighbors = self._neighbors
+        lo = self._lo
+        for port_id in range(lo, self._hi):
+            count = load[port_id] + 1
+            if count > cap:
+                raise SimulationError(
+                    f"edge capacity exceeded: {self.node!r}->{neighbors[port_id - lo]!r} "
+                    f"sent {count} messages in one round (capacity {cap})"
+                )
+            load[port_id] = count
+            if count == 1:
+                touched.append(port_id)
 
     def wake_at(self, round_number: int) -> None:
         """Sleep after this round and wake at the given absolute round."""
@@ -167,6 +295,17 @@ class Context:
     def sleep_for(self, rounds: int) -> None:
         """Sleep for ``rounds`` rounds (wake at ``round + rounds``)."""
         self.wake_at(self.round + rounds)
+
+    def wake_at_unchecked(self, round_number: int) -> None:
+        """Fast-path :meth:`wake_at` for a round's *single* schedule writer.
+
+        Skips the future-round validation and the min-combine with earlier
+        requests — the caller guarantees ``round_number > self.round`` and
+        that no other ``wake_at`` was issued this round.  Hot schedulers
+        that compute one final wake per round use this; everything else
+        should call :meth:`wake_at`.
+        """
+        self._next_wake = round_number
 
     def idle(self) -> None:
         """Sleep with no scheduled wake.
@@ -192,8 +331,12 @@ class NodeAlgorithm:
     or schedules a wake; override behavior entirely in ``on_round``.
     """
 
-    def on_round(self, ctx: Context, inbox: list[tuple[object, object]]) -> None:
-        """Handle one awake round.  ``inbox`` holds ``(sender, payload)`` pairs."""
+    def on_round(self, ctx: Context, inbox: Inbox) -> None:
+        """Handle one awake round.
+
+        ``inbox`` iterates as ``(sender, payload)`` pairs; it is a view over
+        reusable buffers and is valid only during this call.
+        """
         raise NotImplementedError
 
 
@@ -233,9 +376,13 @@ class Runner:
         max_rounds: int = 10_000_000,
     ) -> None:
         indexed = graph if isinstance(graph, IndexedGraph) else IndexedGraph.of(graph)
-        missing = [u for u in indexed.labels if u not in algorithms]
-        if missing:
-            raise SimulationError(f"nodes without an algorithm: {missing[:5]}")
+        try:
+            algorithms_by_index = [algorithms[label] for label in indexed.labels]
+        except KeyError:
+            missing = [u for u in indexed.labels if u not in algorithms]
+            raise SimulationError(
+                f"nodes without an algorithm: {missing[:5]}"
+            ) from None
         self.graph = graph
         self.indexed = indexed
         self.algorithms = algorithms
@@ -244,15 +391,48 @@ class Runner:
         self.edge_capacity = edge_capacity
         self.metrics = metrics if metrics is not None else Metrics()
         self.max_rounds = max_rounds
+        # Per-graph engine-state pool: recursive algorithms create runners
+        # by the thousand over the same frozen view, so contexts, inbox
+        # buffers and the port-load array are checked out of a single-slot
+        # pool on the IndexedGraph instead of rebuilt.  The slot is returned
+        # only by a clean run(); a second live runner over the same view (or
+        # a run that raised, leaving dirty state) simply builds fresh.
+        pool = indexed._engine_pool
+        if pool is not None:
+            indexed._engine_pool = None
+            contexts, inboxes, edge_load = pool
+            for ctx in contexts:
+                ctx._runner = self
+                ctx._halted = False
+                ctx._next_wake = None
+            for box in inboxes:
+                if box.senders:
+                    box.senders.clear()
+                    box.payloads.clear()
+            self._contexts_by_index = contexts
+            self._inboxes = inboxes
+            self._edge_load = edge_load
+        else:
+            self._build_state()
+        self._algorithms_by_index = algorithms_by_index
+        # Columnar outboxes: unicast sends as parallel (port, payload) lists,
+        # broadcasts as one (src_index, payload) record each.
+        self._out_ports: list[int] = []
+        self._out_payloads: list[object] = []
+        self._bcast_src: list[int] = []
+        self._bcast_payloads: list[object] = []
+        self._touched: list[int] = []
+
+    def _build_state(self) -> None:
+        """Fresh per-run engine state (contexts, inbox buffers, port loads)."""
+        indexed = self.indexed
         views = indexed.node_views()
         self._contexts_by_index = [
-            Context(self, label, i, views[i]) for i, label in enumerate(indexed.labels)
+            Context(self, label, i, views[i])
+            for i, label in enumerate(indexed.labels)
         ]
-        self._algorithms_by_index = [algorithms[label] for label in indexed.labels]
-        self._mailboxes: list[list] = [[] for _ in range(indexed.num_nodes)]
-        self._outbox: list[tuple[int, int, object]] = []
-        self._edge_load: list[int] = [0] * len(indexed.nbr)
-        self._touched: list[int] = []
+        self._inboxes = [Inbox() for _ in range(indexed.num_nodes)]
+        self._edge_load = [0] * len(indexed.nbr)
 
     # ------------------------------------------------------------------
     def run(self) -> Metrics:
@@ -260,184 +440,273 @@ class Runner:
         indexed = self.indexed
         n = indexed.num_nodes
         labels = indexed.labels
+        nbr = indexed.nbr
+        port_src = indexed.port_src_labels()
+        bviews = None  # indexed.broadcast_views(), fetched on first broadcast
         contexts = self._contexts_by_index
+        if contexts and contexts[0]._runner is not self:
+            # Our pooled state was checked out by a runner created after us
+            # (pool checkout happens in __init__); rebuild private state so
+            # this run stays correct and isolated.
+            self._build_state()
+            contexts = self._contexts_by_index
         algorithms = self._algorithms_by_index
-        mailboxes = self._mailboxes
-        outbox = self._outbox
+        on_rounds = [alg.on_round for alg in algorithms]
+        inboxes = self._inboxes
+        out_ports = self._out_ports
+        out_payloads = self._out_payloads
+        bcast_src = self._bcast_src
+        bcast_payloads = self._bcast_payloads
         edge_load = self._edge_load
         touched = self._touched
         metrics = self.metrics
+        max_rounds = self.max_rounds
         sleeping = self.mode is Mode.SLEEPING
         # Bulk counter updates are only valid for a plain Metrics; subclasses
         # (TracingMetrics etc.) override the record_* hooks and get the
         # per-event calls — same accumulated state either way.
         fast = type(metrics) is Metrics
+        # The per-message slow path (tracing metrics) records full label
+        # pairs; the fast path never touches this table.
+        port_pairs = None if fast else indexed.port_pairs()
 
-        # Lazily-populated ring: one flat allocation, buckets created on
-        # first use (runners are created by the thousand in the recursive
-        # algorithms, so per-run setup must stay O(n + m), not O(ring)).
-        ring: list[list[int] | None] = [None] * _RING
-        far: dict[int, list[int]] = {}
+        # Wake schedule: per-round buckets of node indices plus a heap of the
+        # *distinct* pending rounds.  A round enters the heap exactly once,
+        # when its bucket is created, so the main loop pops straight from one
+        # active round to the next — empty stretches cost nothing.  Stale
+        # bucket entries (nodes rescheduled elsewhere) are filtered against
+        # ``next_wake`` at pop time, exactly like the old ring scheduler.
+        heap: list[int] = []
+        buckets: dict[int, list[int]] = {}
         next_wake = [0] * n
-        scheduled = n
-        ring_count = n
         if n:
-            ring[0] = list(range(n))
-        # last round any node woke this round (for sleeping-mode delivery).
-        awake_stamp = [-1] * n
+            buckets[0] = list(range(n))
+            heap.append(0)
+        # last round each node woke (for sleeping-mode delivery).
+        awake_stamp = [-1] * n if sleeping else None
         last_round = -1
-        r = 0
+        # Fast-path metric logs: per-round counter updates are deferred to
+        # batched folds (Counter.update and dict increments have per-call
+        # overhead that dominates sparse rounds).  The logs fold mid-run
+        # whenever they pass _LOG_FOLD entries, so memory stays bounded even
+        # on Theta(mn)-message workloads.
+        wake_log: list[int] = []
+        port_log: list[int] = []
+        bcast_log: list[int] = []
 
-        while scheduled:
-            if not ring_count:
-                # Every pending wake is beyond the ring window — jump the
-                # clock to the earliest one and slide the window over it.
-                r = min(far)
-                horizon = r + _RING
-                for s in [s for s in far if s < horizon]:
-                    entries = far.pop(s)
-                    slot = s & _MASK
-                    if ring[slot]:
-                        ring[slot].extend(entries)
-                    else:
-                        ring[slot] = entries
-                    ring_count += len(entries)
-            bucket = ring[r & _MASK]
-            if bucket:
-                ring[r & _MASK] = None
-                ring_count -= len(bucket)
-                # Keep live entries only: a node rescheduled to a different
-                # round (or already consumed) leaves a stale entry behind.
-                awake: list[int] = []
-                for i in bucket:
-                    if next_wake[i] == r:
-                        next_wake[i] = _NONE
-                        scheduled -= 1
-                        awake.append(i)
-                if awake:
-                    if r >= self.max_rounds:
-                        raise SimulationError(f"exceeded max_rounds={self.max_rounds}")
-                    last_round = r
-                    awake.sort()
+        while heap:
+            r = heappop(heap)
+            bucket = buckets.pop(r)
+            # Keep live entries only; consuming an entry marks it dead so a
+            # node double-booked into one bucket still steps once.
+            awake: list[int] = []
+            for i in bucket:
+                if next_wake[i] == r:
+                    next_wake[i] = _NONE
+                    awake.append(i)
+            if not awake:
+                continue
+            if r >= max_rounds:
+                raise SimulationError(f"exceeded max_rounds={max_rounds}")
+            last_round = r
+            awake.sort()
 
-                    # --- node steps (deterministic node-index order) ------
-                    metrics.current_round = r
-                    if sleeping:
-                        for i in awake:
-                            awake_stamp[i] = r
-                    for i in awake:
-                        ctx = contexts[i]
-                        ctx.round = r
-                        ctx._next_wake = None
-                        inbox = mailboxes[i]
-                        mailboxes[i] = []
-                        algorithms[i].on_round(ctx, inbox)
+            # --- node steps (deterministic node-index order) ------------
+            if not fast:
+                # Only the per-event slow path (metric subclasses) reads the
+                # in-phase round stamp.
+                metrics.current_round = r
+            nxt_round = r + 1
+            for i in awake:
+                if sleeping:
+                    awake_stamp[i] = r
+                ctx = contexts[i]
+                ctx.round = r
+                ctx._next_wake = None
+                box = inboxes[i]
+                on_rounds[i](ctx, box)
+                # Truncate the reusable buffers; the Inbox view the
+                # algorithm saw is now dead (documented contract).
+                if box.senders:
+                    box.senders.clear()
+                    box.payloads.clear()
+                # Schedule the node's next wake right here: all steps finish
+                # before delivery runs, so wake-on-message still sees the
+                # complete post-round schedule.
+                wake = ctx._next_wake
+                if ctx._halted or wake is _IDLE:
+                    continue
+                s = wake if wake is not None else nxt_round
+                next_wake[i] = s
+                slot_bucket = buckets.get(s)
+                if slot_bucket is None:
+                    buckets[s] = [i]
+                    heappush(heap, s)
+                else:
+                    slot_bucket.append(i)
+            if fast:
+                wake_log.extend(awake)
+            else:
+                for i in awake:
+                    metrics.record_awake(labels[i], self.round_width)
+
+            # --- delivery -------------------------------------------------
+            if out_ports or bcast_src:
+                if bcast_src and bviews is None:
+                    bviews = indexed.broadcast_views()
+                if sleeping:
+                    # A message reaches its target only if the target was
+                    # awake in the round it was sent (Sec 1.2).
                     if fast:
-                        width = self.round_width
-                        if width == 1:
-                            metrics.awake_rounds.update([labels[i] for i in awake])
-                        else:
-                            awake_rounds = metrics.awake_rounds
-                            for i in awake:
-                                awake_rounds[labels[i]] += width
-                    else:
-                        for i in awake:
-                            metrics.record_awake(labels[i], self.round_width)
-
-                    # --- next wakes (before delivery, so wake-on-message
-                    # sees the post-round schedule) ------------------------
-                    nxt_round = r + 1
-                    in_window = r + _RING
-                    for i in awake:
-                        ctx = contexts[i]
-                        wake = ctx._next_wake
-                        if ctx._halted or wake is _IDLE:
-                            continue
-                        s = wake if wake is not None else nxt_round
-                        next_wake[i] = s
-                        scheduled += 1
-                        if s < in_window:
-                            slot = s & _MASK
-                            slot_bucket = ring[slot]
-                            if slot_bucket is None:
-                                ring[slot] = [i]
-                            else:
-                                slot_bucket.append(i)
-                            ring_count += 1
-                        else:
-                            far.setdefault(s, []).append(i)
-
-                    # --- delivery -----------------------------------------
-                    if outbox:
-                        if sleeping:
-                            # A message reaches its target only if the target
-                            # was awake in the round it was sent (Sec 1.2).
-                            if fast:
-                                metrics.edge_messages.update(
-                                    [(labels[s], labels[d]) for s, d, _ in outbox]
-                                )
-                                lost = 0
-                                for src_i, dst_i, payload in outbox:
-                                    if awake_stamp[dst_i] == r and not contexts[dst_i]._halted:
-                                        mailboxes[dst_i].append((labels[src_i], payload))
-                                    else:
-                                        lost += 1
-                                metrics.total_messages += len(outbox)
-                                metrics.lost_messages += lost
-                            else:
-                                for src_i, dst_i, payload in outbox:
-                                    delivered = (
+                        lost = 0
+                        if out_ports:
+                            port_log.extend(out_ports)
+                            metrics.total_messages += len(out_ports)
+                            for port_id, payload in zip(out_ports, out_payloads):
+                                dst_i = nbr[port_id]
+                                if awake_stamp[dst_i] == r and not contexts[dst_i]._halted:
+                                    box = inboxes[dst_i]
+                                    box.senders.append(port_src[port_id])
+                                    box.payloads.append(payload)
+                                else:
+                                    lost += 1
+                        if bcast_src:
+                            for src_i, payload in zip(bcast_src, bcast_payloads):
+                                dsts = bviews[src_i]
+                                metrics.total_messages += len(dsts)
+                                sender = labels[src_i]
+                                for dst_i in dsts:
+                                    if (
                                         awake_stamp[dst_i] == r
                                         and not contexts[dst_i]._halted
-                                    )
-                                    metrics.record_send(labels[src_i], labels[dst_i], delivered)
-                                    if delivered:
-                                        mailboxes[dst_i].append((labels[src_i], payload))
-                        else:
-                            # CONGEST: never lost; a halted node discards
-                            # arrivals silently, others wake-on-message.
-                            if fast:
-                                metrics.edge_messages.update(
-                                    [(labels[s], labels[d]) for s, d, _ in outbox]
-                                )
-                            for src_i, dst_i, payload in outbox:
-                                src = labels[src_i]
-                                if not fast:
-                                    metrics.record_send(src, labels[dst_i], True)
-                                dst_ctx = contexts[dst_i]
-                                if not dst_ctx._halted:
-                                    mailboxes[dst_i].append((src, payload))
-                                    cur = next_wake[dst_i]
-                                    if cur == _NONE or cur > nxt_round:
-                                        if cur == _NONE:
-                                            scheduled += 1
-                                        next_wake[dst_i] = nxt_round
-                                        slot = nxt_round & _MASK
-                                        slot_bucket = ring[slot]
-                                        if slot_bucket is None:
-                                            ring[slot] = [dst_i]
-                                        else:
-                                            slot_bucket.append(dst_i)
-                                        ring_count += 1
-                            if fast:
-                                metrics.total_messages += len(outbox)
-                        outbox.clear()
-                        for port_id in touched:
-                            edge_load[port_id] = 0
-                        touched.clear()
-
-            # Slide the window one round; far-future wakes that now fit move
-            # into the ring.
-            r += 1
-            if far:
-                entries = far.pop(r + _RING - 1, None)
-                if entries is not None:
-                    slot = (r + _RING - 1) & _MASK
-                    if ring[slot]:
-                        ring[slot].extend(entries)
+                                    ):
+                                        box = inboxes[dst_i]
+                                        box.senders.append(sender)
+                                        box.payloads.append(payload)
+                                    else:
+                                        lost += 1
+                            bcast_log.extend(bcast_src)
+                        metrics.lost_messages += lost
                     else:
-                        ring[slot] = entries
-                    ring_count += len(entries)
+                        for port_id, payload in zip(out_ports, out_payloads):
+                            dst_i = nbr[port_id]
+                            src, dst = port_pairs[port_id]
+                            delivered = (
+                                awake_stamp[dst_i] == r and not contexts[dst_i]._halted
+                            )
+                            metrics.record_send(src, dst, delivered)
+                            if delivered:
+                                box = inboxes[dst_i]
+                                box.senders.append(src)
+                                box.payloads.append(payload)
+                        indptr = indexed.indptr
+                        for src_i, payload in zip(bcast_src, bcast_payloads):
+                            sender = labels[src_i]
+                            for port_id in range(indptr[src_i], indptr[src_i + 1]):
+                                dst_i = nbr[port_id]
+                                delivered = (
+                                    awake_stamp[dst_i] == r
+                                    and not contexts[dst_i]._halted
+                                )
+                                metrics.record_send(
+                                    sender, port_pairs[port_id][1], delivered
+                                )
+                                if delivered:
+                                    box = inboxes[dst_i]
+                                    box.senders.append(sender)
+                                    box.payloads.append(payload)
+                else:
+                    # CONGEST: never lost; a halted node discards arrivals
+                    # silently, others wake-on-message.
+                    nxt_bucket = buckets.get(nxt_round)
+                    if fast and out_ports:
+                        port_log.extend(out_ports)
+                        metrics.total_messages += len(out_ports)
+                    for port_id, payload in zip(out_ports, out_payloads):
+                        dst_i = nbr[port_id]
+                        dst_ctx = contexts[dst_i]
+                        if not fast:
+                            pair = port_pairs[port_id]
+                            metrics.record_send(pair[0], pair[1], True)
+                        if not dst_ctx._halted:
+                            box = inboxes[dst_i]
+                            box.senders.append(port_src[port_id])
+                            box.payloads.append(payload)
+                            cur = next_wake[dst_i]
+                            if cur == _NONE or cur > nxt_round:
+                                next_wake[dst_i] = nxt_round
+                                if nxt_bucket is None:
+                                    nxt_bucket = buckets[nxt_round] = [dst_i]
+                                    heappush(heap, nxt_round)
+                                else:
+                                    nxt_bucket.append(dst_i)
+                    for src_i, payload in zip(bcast_src, bcast_payloads):
+                        dsts = bviews[src_i]
+                        sender = labels[src_i]
+                        if fast:
+                            metrics.total_messages += len(dsts)
+                        else:
+                            indptr = indexed.indptr
+                            for port_id in range(indptr[src_i], indptr[src_i + 1]):
+                                metrics.record_send(
+                                    sender, port_pairs[port_id][1], True
+                                )
+                        for dst_i in dsts:
+                            if not contexts[dst_i]._halted:
+                                box = inboxes[dst_i]
+                                box.senders.append(sender)
+                                box.payloads.append(payload)
+                                cur = next_wake[dst_i]
+                                if cur == _NONE or cur > nxt_round:
+                                    next_wake[dst_i] = nxt_round
+                                    if nxt_bucket is None:
+                                        nxt_bucket = buckets[nxt_round] = [dst_i]
+                                        heappush(heap, nxt_round)
+                                    else:
+                                        nxt_bucket.append(dst_i)
+                    if fast and bcast_src:
+                        bcast_log.extend(bcast_src)
+                out_ports.clear()
+                out_payloads.clear()
+                bcast_src.clear()
+                bcast_payloads.clear()
+                for port_id in touched:
+                    edge_load[port_id] = 0
+                touched.clear()
+                if len(port_log) >= _LOG_FOLD:
+                    _fold_ports(metrics.edge_messages, port_log, port_src, labels, nbr)
+                    port_log.clear()
+                if len(bcast_log) >= _LOG_FOLD:
+                    _fold_bcasts(
+                        metrics.edge_messages, bcast_log, labels, nbr, indexed.indptr
+                    )
+                    bcast_log.clear()
+            # wake_log grows on message-free rounds too, so its bound check
+            # cannot hide inside the delivery block.
+            if len(wake_log) >= _LOG_FOLD:
+                _fold_wakes(metrics.awake_rounds, wake_log, labels, self.round_width)
+                wake_log.clear()
 
+        if fast:
+            # Final fold of the deferred logs (see _fold_* below): counting
+            # happens in C over plain integer columns, and label pairs are
+            # materialized once per *distinct* port/source, not per message.
+            if wake_log:
+                _fold_wakes(metrics.awake_rounds, wake_log, labels, self.round_width)
+            if port_log:
+                _fold_ports(metrics.edge_messages, port_log, port_src, labels, nbr)
+            if bcast_log:
+                _fold_bcasts(
+                    metrics.edge_messages, bcast_log, labels, nbr, indexed.indptr
+                )
         self.metrics.record_rounds((last_round + 1) * self.round_width)
+        if indexed._engine_pool is None:
+            # Park the state for the next runner over this view.  Drop the
+            # backreferences first: the pool outlives this runner (it hangs
+            # off the cached IndexedGraph), and a live ctx._runner would pin
+            # the whole finished runner — algorithms, metrics and all — for
+            # the graph's lifetime.  Checkout re-points _runner anyway.
+            for ctx in contexts:
+                ctx._runner = None
+            indexed._engine_pool = (contexts, inboxes, self._edge_load)
         return self.metrics

@@ -51,3 +51,47 @@ class TestCLI:
         )
         assert proc.returncode == 0
         assert "PODC" in proc.stdout
+
+
+class TestBenchCLI:
+    def test_bench_writes_json(self, tmp_path, capsys):
+        import json
+
+        target = tmp_path / "BENCH.json"
+        code = main(
+            ["bench", "--experiments", "smoke", "--repeats", "1",
+             "--output", str(target)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "smoke" in out
+        data = json.loads(target.read_text())
+        assert set(data) == {"smoke"}
+        assert data["smoke"] > 0
+
+    def test_bench_quick_without_baseline_is_clean(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)  # no BENCH.json here
+        assert main(["bench", "--quick", "--experiments", "smoke"]) == 0
+        assert "no recorded baseline" in capsys.readouterr().out
+
+    def test_bench_quick_flags_regression(self, tmp_path, capsys, monkeypatch):
+        import json
+
+        monkeypatch.chdir(tmp_path)
+        # An absurdly fast recorded baseline forces the 2x gate to trip.
+        (tmp_path / "BENCH.json").write_text(json.dumps({"smoke": 0.001}))
+        assert main(["bench", "--quick", "--experiments", "smoke"]) == 1
+        assert "PERF REGRESSION" in capsys.readouterr().err
+
+    def test_bench_quick_passes_against_generous_baseline(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        import json
+
+        monkeypatch.chdir(tmp_path)
+        (tmp_path / "BENCH.json").write_text(json.dumps({"smoke": 1e9}))
+        assert main(["bench", "--quick", "--experiments", "smoke"]) == 0
+        assert "within" in capsys.readouterr().out
+
+    def test_bench_unknown_experiment_rejected(self, capsys):
+        assert main(["bench", "--experiments", "nope", "--repeats", "1"]) == 2

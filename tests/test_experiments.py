@@ -10,6 +10,7 @@ from repro.sim.experiments import (
     ROW_FIELDS,
     Scenario,
     SweepError,
+    clear_graph_cache,
     get_scenario,
     list_algorithms,
     list_scenarios,
@@ -96,6 +97,47 @@ class TestSweepDeterminism:
         second = smoke_sweep(workers=2)
         assert first == second
         assert 4 <= len(first) <= 16
+
+
+class TestGraphCache:
+    def test_cells_sharing_an_instance_reuse_one_graph(self):
+        from repro.sim import experiments
+
+        clear_graph_cache()
+        # Same family / max_weight / size / seed across two scenarios ->
+        # one cached instance serves both cells.
+        run_scenario("bellman-ford/er", 14, seed=3)
+        assert len(experiments._GRAPH_CACHE) == 1
+        run_scenario("dijkstra/er", 14, seed=3)
+        assert len(experiments._GRAPH_CACHE) == 1
+        run_scenario("dijkstra/er", 14, seed=4)  # new seed -> new instance
+        assert len(experiments._GRAPH_CACHE) == 2
+        clear_graph_cache()
+
+    def test_rows_identical_with_cold_and_warm_cache(self):
+        scenarios = ["bellman-ford/er", "dijkstra/er", "bfs/grid"]
+        clear_graph_cache()
+        cold = run_sweep(scenarios, sizes=(10, 14), seeds=(0, 1))
+        warm = run_sweep(scenarios, sizes=(10, 14), seeds=(0, 1))
+        clear_graph_cache()
+        fresh = run_sweep(scenarios, sizes=(10, 14), seeds=(0, 1))
+        assert cold == warm == fresh
+
+    def test_cache_determinism_across_worker_counts(self):
+        scenarios = ["bellman-ford/er", "dijkstra/er"]
+        clear_graph_cache()
+        sequential = run_sweep(scenarios, sizes=(9, 13), seeds=(0, 1), workers=1)
+        parallel = run_sweep(scenarios, sizes=(9, 13), seeds=(0, 1), workers=4)
+        assert sequential == parallel
+
+    def test_cache_is_bounded(self):
+        from repro.sim import experiments
+
+        clear_graph_cache()
+        for seed in range(experiments._GRAPH_CACHE_CAP + 8):
+            run_scenario("bfs/grid", 9, seed=seed)
+        assert len(experiments._GRAPH_CACHE) <= experiments._GRAPH_CACHE_CAP
+        clear_graph_cache()
 
 
 class TestAnalysisWiring:

@@ -78,14 +78,36 @@ def test_node_views_shared_and_consistent():
     indexed = IndexedGraph.of(g)
     views = indexed.node_views()
     assert indexed.node_views() is views  # built once
-    for i, (neighbors, weights, ports) in enumerate(views):
+    for i, (neighbors, weights, ports, lo, hi) in enumerate(views):
         label = indexed.labels[i]
         assert set(neighbors) == set(g.neighbors(label))
-        for v in neighbors:
+        assert (lo, hi) == (indexed.indptr[i], indexed.indptr[i + 1])
+        assert hi - lo == len(neighbors) == len(weights)
+        for k, v in enumerate(neighbors):
             port_id, dst_index, w = ports[v]
-            assert weights[v] == w == g.weight(label, v)
+            assert port_id == lo + k
+            assert weights[k] == w == g.weight(label, v)
             assert indexed.nbr[port_id] == dst_index
             assert indexed.labels[dst_index] == v
+
+
+def test_port_pairs_and_broadcast_views_align_with_csr():
+    g = graphs.random_weights(graphs.random_connected_graph(18, seed=5), 7, seed=6)
+    indexed = IndexedGraph.of(g)
+    pairs = indexed.port_pairs()
+    assert indexed.port_pairs() is pairs  # built once
+    assert len(pairs) == len(indexed.nbr)
+    for i, label in enumerate(indexed.labels):
+        for port_id in range(indexed.indptr[i], indexed.indptr[i + 1]):
+            assert pairs[port_id] == (label, indexed.labels[indexed.nbr[port_id]])
+    srcs = indexed.port_src_labels()
+    assert indexed.port_src_labels() is srcs  # built once
+    assert srcs == [pair[0] for pair in pairs]
+    bviews = indexed.broadcast_views()
+    assert indexed.broadcast_views() is bviews
+    for i in range(indexed.num_nodes):
+        lo, hi = indexed.indptr[i], indexed.indptr[i + 1]
+        assert bviews[i] == indexed.nbr[lo:hi]
 
 
 def test_tuple_labels_round_trip():
