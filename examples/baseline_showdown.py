@@ -3,9 +3,10 @@
 
 Runs the same SSSP workload through three scenario-registry entries —
 the paper's recursive CSSP-based SSSP, distributed Bellman-Ford, and the
-naive distributed Dijkstra — across a sweep of sizes, using
-``repro.sim.experiments.run_sweep`` (every run self-verifies against the
-sequential Dijkstra oracle inside its algorithm driver).  The point is the
+naive distributed Dijkstra — across a sweep of sizes, by building a
+``repro.api.SweepSpec`` and handing it to ``run_sweep_spec`` (every run
+self-verifies against the sequential Dijkstra oracle inside its algorithm
+driver).  The point is the
 *growth*: Bellman-Ford's congestion column scales with n (so n concurrent
 instances for APSP would need Theta(n) bandwidth per edge), Dijkstra's
 rounds scale with n*D, while the paper's algorithm keeps congestion polylog
@@ -15,14 +16,15 @@ Run:  PYTHONPATH=src python examples/baseline_showdown.py
 """
 
 from repro.analysis import fit_sweep, sweep_table
-from repro.sim.experiments import run_sweep
+from repro.api import SweepSpec, run_sweep_spec
 
 SCENARIOS = ["sssp/er", "bellman-ford/er", "dijkstra/er"]
 SIZES = (16, 24, 32, 48)
 
 
 def main() -> None:
-    rows = run_sweep(SCENARIOS, sizes=SIZES, seeds=(0,), workers=2)
+    spec = SweepSpec(scenarios=tuple(SCENARIOS), sizes=SIZES, seeds=(0,), workers=2)
+    rows = run_sweep_spec(spec)
     print(sweep_table(
         rows,
         "SSSP head-to-head (every run verified exact against the oracle)",

@@ -1,5 +1,10 @@
 """Legacy shim: lets `pip install -e . --no-build-isolation` work in
-environments without the `wheel` package (offline editable install)."""
+environments without the `wheel` package (offline editable install).
+
+All real metadata — name, dynamic version from ``repro.__version__``,
+requires-python, and the ``repro`` console-script entry point — lives in
+the ``[project]`` table of ``pyproject.toml``; ``setup()`` here only
+triggers the setuptools build backend."""
 
 from setuptools import setup
 

@@ -1,50 +1,88 @@
-"""Command-line entry point: ``python -m repro <command>``.
+"""Command-line front end: ``repro <command>`` / ``python -m repro <command>``.
+
+Every subcommand is a thin constructor over the spec types of
+:mod:`repro.api` — the CLI builds a :class:`~repro.api.SweepSpec` /
+:class:`~repro.api.BenchSpec` / :class:`~repro.api.ReportSpec` (from
+``--spec file.json``, from flags, or both — explicit flags override spec
+fields) and hands it to the matching executor.  Anything the CLI can do,
+a script can do with the same spec objects.
 
 Commands
 --------
 ``info``
-    Print the library version and the implemented system inventory.
+    Library version and the implemented system inventory (``--json`` for a
+    machine-readable map).
 ``demo [n]``
-    Run a quick SSSP demo on a random weighted graph of ~n nodes (default
-    48) and print the complexity metrics.
-``report [results_dir] [output]``
-    Compile the recorded benchmark tables into one Markdown report
-    (defaults: ``benchmarks/results`` -> stdout).
-``sweep [options]``
-    Run a registered experiment sweep (scenario registry x sizes x seeds)
-    across worker processes and print the tidy result table.
+    Quick metered SSSP demo on a random weighted graph of ~n nodes.
+``sweep``
+    Run a sweep spec: ``--scenarios/--sizes/--seeds/--workers`` select the
+    cross product, ``--output store.jsonl`` streams rows to a resumable
+    ResultSet (re-running skips finished cells), ``--smoke`` is the fixed
+    tiny CI sweep, ``--fit`` appends scaling fits, ``--report out.md``
+    writes the Markdown report, ``--list`` prints registered scenarios.
+``bench``
+    Time the pinned benchmark subset and record ``BENCH.json``;
+    ``--quick`` is the CI perf gate (non-zero exit beyond ``--factor`` x
+    the recorded baseline).
+``report``
+    Compile recorded experiment tables into one Markdown document.
 
-    Options: ``--scenarios a,b`` (default: all registered),
-    ``--sizes 16,32,48``, ``--seeds 0``, ``--workers N`` (default 1),
-    ``--fit`` (append per-scenario power-law fits of rounds vs n),
-    ``--smoke`` (fixed tiny sweep for CI; ignores the other selectors),
-    ``--output PATH`` (write a Markdown report instead of printing),
-    ``--list`` (print the registered scenario names and exit).
-``bench [options]``
-    Time the pinned fast benchmark subset (E2/E6/E8 + the smoke sweep) and
-    record ``BENCH.json`` ({experiment: median_ms}) so the perf trajectory
-    is tracked PR-over-PR.
-
-    Options: ``--experiments E2,E6`` (default: E2,E6,E8,smoke),
-    ``--repeats N`` (default 3), ``--output PATH`` (default BENCH.json),
-    ``--quick`` (one repetition, no file write unless ``--output`` is
-    given, non-zero exit if any experiment exceeds 2x the recorded
-    baseline — the CI perf smoke gate), ``--factor X`` (gate threshold).
+``sweep``, ``bench``, and ``report`` accept ``--spec FILE`` (a JSON spec
+artifact, see ``EXPERIMENTS.md``); every subcommand accepts ``--json``
+(machine-readable stdout).  Bad flags or malformed values exit 2 with a
+usage message.
 """
 
 from __future__ import annotations
 
+import argparse
+import json
 import sys
 from pathlib import Path
 
 
-def _cmd_info() -> int:
+# ----------------------------------------------------------------------
+# flag value parsers (argparse types -> exit 2 + usage on malformed input)
+# ----------------------------------------------------------------------
+def _csv(text: str) -> tuple[str, ...]:
+    items = tuple(part.strip() for part in text.split(",") if part.strip())
+    if not items:
+        raise argparse.ArgumentTypeError(f"expected a comma-separated list, got {text!r}")
+    return items
+
+
+def _int_csv(text: str) -> tuple[int, ...]:
+    try:
+        return tuple(int(part) for part in text.split(","))
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected comma-separated integers, got {text!r}"
+        ) from None
+
+
+def _load_spec_file(path: str, expected_cls, parser: argparse.ArgumentParser):
+    from repro.api import SpecError, load_spec
+
+    try:
+        spec = load_spec(path)
+    except SpecError as exc:
+        parser.error(str(exc))
+    if not isinstance(spec, expected_cls):
+        parser.error(
+            f"--spec {path}: holds a {spec.kind!r} spec, expected {expected_cls.kind!r}"
+        )
+    return spec
+
+
+# ----------------------------------------------------------------------
+# subcommands
+# ----------------------------------------------------------------------
+def _cmd_info(args) -> int:
     import repro
 
-    print(f"repro {repro.__version__} — reproduction of Ghaffari & Trygub, PODC 2024")
-    print("\nImplemented systems:")
     systems = [
         ("repro.sim", "CONGEST + sleeping-model simulator with full metering"),
+        ("repro.api", "spec-driven experiment API with resumable ResultSets"),
         ("repro.core.bfs", "thresholded weighted BFS (multi-source, offsets)"),
         ("repro.core.cutter", "approximate cutter (Lemma 2.1)"),
         ("repro.core.boruvka", "distributed maximal spanning forest (Thm 2.2)"),
@@ -57,204 +95,255 @@ def _cmd_info() -> int:
         ("repro.energy.low_energy_bfs", "sleeping-model BFS (Thm 3.8)"),
         ("repro.energy.bootstrap", "from-scratch BFS + energy CSSP (Thms 3.13-3.15)"),
     ]
+    if args.json:
+        print(json.dumps({"version": repro.__version__, "systems": dict(systems)}, indent=2))
+        return 0
+    print(f"repro {repro.__version__} — reproduction of Ghaffari & Trygub, PODC 2024")
+    print("\nImplemented systems:")
     for module, description in systems:
         print(f"  {module:32s} {description}")
     return 0
 
 
-def _cmd_demo(argv: list[str]) -> int:
+def _cmd_demo(args) -> int:
     from repro import graphs, sssp
 
-    n = int(argv[0]) if argv else 48
-    g = graphs.random_connected_graph(n, seed=1)
+    g = graphs.random_connected_graph(args.n, seed=1)
     g = graphs.random_weights(g, max_weight=50, seed=2)
-    print(f"graph: n={g.num_nodes} m={g.num_edges} maxW={g.max_weight()}")
     result = sssp(g, 0)
     exact = result.distances == g.dijkstra([0])
+    if args.json:
+        print(json.dumps({
+            "n": g.num_nodes, "m": g.num_edges, "max_weight": g.max_weight(),
+            "exact": exact, "metrics": result.metrics.summary(),
+        }, indent=2))
+        return 0 if exact else 1
+    print(f"graph: n={g.num_nodes} m={g.num_edges} maxW={g.max_weight()}")
     print(f"exact vs oracle: {exact}")
     for key, value in result.metrics.summary().items():
         print(f"  {key:20s} {value}")
     return 0 if exact else 1
 
 
-def _cmd_report(argv: list[str]) -> int:
-    from repro.analysis.report import compile_report
-
-    results = Path(argv[0]) if argv else Path("benchmarks/results")
-    text = compile_report(results)
-    if len(argv) > 1:
-        Path(argv[1]).write_text(text)
-        print(f"wrote {argv[1]}")
-    else:
-        print(text)
-    return 0
-
-
-def _cmd_sweep(argv: list[str]) -> int:
+def _cmd_sweep(args, parser) -> int:
     from repro.analysis.sweeps import fit_sweep, sweep_report, sweep_table
-    from repro.sim.experiments import list_scenarios, run_sweep, smoke_sweep
+    from repro.api import SpecError, SweepSpec, run_sweep_spec, smoke_spec
+    from repro.sim.experiments import SweepError, ensure_discovered, list_scenarios
 
-    options = {
-        "scenarios": None,
-        "sizes": (16, 32, 48),
-        "seeds": (0,),
-        "workers": 1,
-        "fit": False,
-        "smoke": False,
-        "output": None,
-    }
-    it = iter(argv)
-    for arg in it:
-        value_of = {"--scenarios", "--sizes", "--seeds", "--workers", "--output"}
-        value = next(it, None) if arg in value_of else None
-        if arg in value_of and value is None:
-            print(f"sweep option {arg} requires a value", file=sys.stderr)
-            return 2
+    if args.list:
+        ensure_discovered()
+        for name in list_scenarios():
+            print(name)
+        return 0
+
+    if args.smoke:
+        # The fixed CI sweep: selectors are pinned, execution flags compose.
+        spec = smoke_spec(workers=args.workers, output=args.output)
+        title = "smoke sweep"
+    else:
+        spec = (
+            _load_spec_file(args.spec, SweepSpec, parser) if args.spec else SweepSpec()
+        )
         try:
-            if arg == "--smoke":
-                options["smoke"] = True
-            elif arg == "--fit":
-                options["fit"] = True
-            elif arg == "--scenarios":
-                options["scenarios"] = value.split(",")
-            elif arg == "--sizes":
-                options["sizes"] = tuple(int(x) for x in value.split(","))
-            elif arg == "--seeds":
-                options["seeds"] = tuple(int(x) for x in value.split(","))
-            elif arg == "--workers":
-                options["workers"] = int(value)
-            elif arg == "--output":
-                options["output"] = value
-            elif arg == "--list":
-                for name in list_scenarios():
-                    print(name)
-                return 0
-            else:
-                print(f"unknown sweep option {arg!r}", file=sys.stderr)
-                return 2
-        except ValueError:
-            print(f"sweep option {arg}: expected integers, got {value!r}", file=sys.stderr)
-            return 2
+            spec = spec.replace(
+                scenarios=args.scenarios,
+                sizes=args.sizes,
+                seeds=args.seeds,
+                workers=args.workers,
+                output=args.output,
+            )
+        except SpecError as exc:
+            parser.error(str(exc))
+        title = "experiment sweep"
 
-    from repro.sim.experiments import SweepError
+    progress = None
+    if args.progress:
+        def progress(completed, total, row):
+            print(
+                f"[{completed}/{total}] {row['scenario']} n={row['n']} seed={row['seed']}",
+                file=sys.stderr,
+            )
 
     try:
-        if options["smoke"]:
-            rows = smoke_sweep(workers=options["workers"])
-            title = "smoke sweep"
-        else:
-            rows = run_sweep(
-                options["scenarios"],
-                sizes=options["sizes"],
-                seeds=options["seeds"],
-                workers=options["workers"],
-            )
-            title = "experiment sweep"
-    except SweepError as exc:
+        rows = run_sweep_spec(spec, progress=progress)
+    except (SweepError, SpecError) as exc:
         print(f"sweep error: {exc}", file=sys.stderr)
         return 2
 
-    if options["output"]:
-        Path(options["output"]).write_text(sweep_report(rows, title=title))
-        print(f"wrote {options['output']} ({len(rows)} runs)")
+    if args.report:
+        Path(args.report).write_text(sweep_report(rows, title=title))
+        print(f"wrote {args.report} ({len(rows)} runs)")
+        return 0
+    if args.json:
+        print(json.dumps(rows, indent=2))
         return 0
     print(sweep_table(rows, title=title))
-    if options["fit"]:
+    if spec.output:
+        print(f"stored {len(rows)} rows in {spec.output}")
+    if args.fit:
         for scenario, fit in sorted(fit_sweep(rows).items()):
             print(f"fit {scenario}: rounds ~ n^{fit.exponent:.2f} (r2={fit.r2:.3f})")
     return 0
 
 
-def _cmd_bench(argv: list[str]) -> int:
-    from repro import bench
+def _cmd_bench(args, parser) -> int:
+    from repro.api import BenchSpec, SpecError, run_bench_spec
 
-    options = {
-        "experiments": None,
-        "repeats": 3,
-        "output": None,
-        "quick": False,
-        "factor": 2.0,
-    }
-    it = iter(argv)
-    for arg in it:
-        value_of = {"--experiments", "--repeats", "--output", "--factor"}
-        value = next(it, None) if arg in value_of else None
-        if arg in value_of and value is None:
-            print(f"bench option {arg} requires a value", file=sys.stderr)
-            return 2
-        try:
-            if arg == "--quick":
-                options["quick"] = True
-            elif arg == "--experiments":
-                options["experiments"] = value.split(",")
-            elif arg == "--repeats":
-                options["repeats"] = int(value)
-            elif arg == "--output":
-                options["output"] = value
-            elif arg == "--factor":
-                options["factor"] = float(value)
-            else:
-                print(f"unknown bench option {arg!r}", file=sys.stderr)
-                return 2
-        except ValueError:
-            print(f"bench option {arg}: bad value {value!r}", file=sys.stderr)
-            return 2
-
-    repeats = 1 if options["quick"] else options["repeats"]
+    spec = _load_spec_file(args.spec, BenchSpec, parser) if args.spec else BenchSpec()
     try:
-        results = bench.run_bench(options["experiments"], repeats=repeats)
-    except ValueError as exc:
+        spec = spec.replace(
+            experiments=args.experiments,
+            repeats=args.repeats,
+            output=args.output,
+            quick=args.quick,
+            factor=args.factor,
+        )
+    except SpecError as exc:
+        parser.error(str(exc))
+
+    try:
+        outcome = run_bench_spec(spec)
+    except SpecError as exc:
         print(f"bench error: {exc}", file=sys.stderr)
         return 2
-    for name, ms in sorted(results.items()):
-        print(f"{name:8s} {ms:10.1f} ms   (median of {repeats})")
 
-    baseline_path = options["output"] or "BENCH.json"
-    if options["quick"]:
-        # Gate mode: compare against the recorded baseline, write nothing
-        # (unless an explicit output path was given).
-        baseline = bench.load_bench(baseline_path)
-        if options["output"]:
-            bench.write_bench(results, options["output"])
-            print(f"wrote {options['output']}")
-        if baseline is None:
-            print(f"no recorded baseline at {baseline_path}; nothing to gate against")
-            return 0
-        violations = bench.compare_to_baseline(
-            results, baseline, factor=options["factor"]
-        )
-        if violations:
-            for line in violations:
-                print(f"PERF REGRESSION {line}", file=sys.stderr)
-            return 1
-        print(f"within {options['factor']:g}x of recorded baseline ({baseline_path})")
+    repeats = 1 if spec.quick else spec.repeats
+    if args.json:
+        print(json.dumps({
+            "results": outcome.results,
+            "repeats": repeats,
+            "violations": list(outcome.violations),
+            "baseline_path": outcome.baseline_path,
+            "wrote": outcome.wrote,
+        }, indent=2))
+    else:
+        for name, ms in sorted(outcome.results.items()):
+            print(f"{name:8s} {ms:10.1f} ms   (median of {repeats})")
+        if outcome.wrote:
+            print(f"wrote {outcome.wrote}")
+    if not spec.quick:
         return 0
-    target = bench.write_bench(results, baseline_path)
-    print(f"wrote {target}")
+    if outcome.baseline is None:
+        if not args.json:
+            print(f"no recorded baseline at {outcome.baseline_path}; nothing to gate against")
+        return 0
+    if outcome.violations:
+        for line in outcome.violations:
+            print(f"PERF REGRESSION {line}", file=sys.stderr)
+        return 1
+    if not args.json:
+        print(f"within {spec.factor:g}x of recorded baseline ({outcome.baseline_path})")
     return 0
+
+
+def _cmd_report(args, parser) -> int:
+    from repro.api import ReportSpec, SpecError, run_report_spec
+
+    spec = _load_spec_file(args.spec, ReportSpec, parser) if args.spec else ReportSpec()
+    try:
+        spec = spec.replace(results_dir=args.results_dir, output=args.output)
+    except SpecError as exc:
+        parser.error(str(exc))
+    text = run_report_spec(spec)
+    if args.json:
+        print(json.dumps({
+            "results_dir": spec.results_dir, "output": spec.output, "report": text,
+        }, indent=2))
+    elif spec.output:
+        print(f"wrote {spec.output}")
+    else:
+        print(text)
+    return 0
+
+
+# ----------------------------------------------------------------------
+# parser
+# ----------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of Ghaffari & Trygub (PODC 2024): "
+        "spec-driven sweeps, benchmarks, and reports.",
+        epilog="sweep, bench, and report accept --spec FILE (a JSON job "
+        "spec; explicit flags override its fields); info, demo, sweep, "
+        "bench, and report accept --json for machine-readable output.",
+    )
+    commands = parser.add_subparsers(dest="command", title="Commands", metavar="<command>")
+
+    info = commands.add_parser("info", help="library version and system inventory")
+    info.add_argument("--json", action="store_true", help="machine-readable output")
+
+    demo = commands.add_parser("demo", help="quick metered SSSP demo")
+    demo.add_argument("n", nargs="?", type=int, default=48, help="graph size (default 48)")
+    demo.add_argument("--json", action="store_true", help="machine-readable output")
+
+    sweep = commands.add_parser(
+        "sweep", help="run a (scenario x size x seed) sweep spec",
+        description="Run a sweep. With --output the rows stream to a JSONL "
+        "ResultSet; re-running the same spec resumes, skipping finished cells.",
+    )
+    sweep.add_argument("--spec", metavar="FILE", help="JSON SweepSpec to start from")
+    sweep.add_argument("--scenarios", type=_csv, metavar="a,b",
+                       help="scenario names (default: all registered)")
+    sweep.add_argument("--sizes", type=_int_csv, metavar="16,32,48", help="graph sizes")
+    sweep.add_argument("--seeds", type=_int_csv, metavar="0,1", help="per-cell seeds")
+    sweep.add_argument("--workers", type=int, metavar="N", help="worker processes (default 1)")
+    sweep.add_argument("--output", metavar="PATH", help="JSONL ResultSet store (resumable)")
+    sweep.add_argument("--report", metavar="PATH", help="write a Markdown report instead of printing")
+    sweep.add_argument("--fit", action="store_true", help="append per-scenario power-law fits")
+    sweep.add_argument("--smoke", action="store_true", help="fixed tiny CI sweep (pins the selectors)")
+    sweep.add_argument("--progress", action="store_true", help="stream per-cell progress to stderr")
+    sweep.add_argument("--json", action="store_true", help="print rows as JSON")
+    sweep.add_argument("--list", action="store_true", help="list registered scenarios and exit")
+
+    bench = commands.add_parser(
+        "bench", help="time the pinned benchmark subset / CI perf gate",
+    )
+    bench.add_argument("--spec", metavar="FILE", help="JSON BenchSpec to start from")
+    bench.add_argument("--experiments", type=_csv, metavar="E2,E6",
+                       help="experiments to time (default: E2,E6,E8,smoke)")
+    bench.add_argument("--repeats", type=int, metavar="N", help="repetitions per experiment (default 3)")
+    bench.add_argument("--output", metavar="PATH", help="baseline file (default BENCH.json)")
+    bench.add_argument("--quick", action="store_true", default=None,
+                       help="one repetition + gate against the recorded baseline")
+    bench.add_argument("--factor", type=float, metavar="X", help="gate threshold (default 2.0)")
+    bench.add_argument("--json", action="store_true", help="machine-readable output")
+
+    report = commands.add_parser("report", help="compile recorded experiment tables")
+    report.add_argument("results_dir", nargs="?", default=None,
+                        help="recorded tables directory (default benchmarks/results)")
+    report.add_argument("output", nargs="?", default=None,
+                        help="write the Markdown here instead of printing")
+    report.add_argument("--spec", metavar="FILE", help="JSON ReportSpec to start from")
+    report.add_argument("--json", action="store_true", help="machine-readable output")
+
+    return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
-    if not argv or argv[0] in ("-h", "--help"):
-        print(__doc__)
+    parser = build_parser()
+    if not argv:
+        parser.print_help()
         return 0
-    command, rest = argv[0], argv[1:]
-    if command == "info":
-        return _cmd_info()
-    if command == "demo":
-        return _cmd_demo(rest)
-    if command == "report":
-        return _cmd_report(rest)
-    if command == "sweep":
-        return _cmd_sweep(rest)
-    if command == "bench":
-        return _cmd_bench(rest)
-    print(
-        f"unknown command {command!r}; try: info, demo, report, sweep, bench",
-        file=sys.stderr,
-    )
-    return 2
+    try:
+        args = parser.parse_args(argv)
+        if args.command is None:
+            parser.print_help()
+            return 0
+        if args.command == "info":
+            return _cmd_info(args)
+        if args.command == "demo":
+            return _cmd_demo(args)
+        if args.command == "sweep":
+            return _cmd_sweep(args, parser)
+        if args.command == "bench":
+            return _cmd_bench(args, parser)
+        return _cmd_report(args, parser)
+    except SystemExit as exc:
+        # argparse exits 2 on usage errors and 0 on --help; keep main()
+        # callable in-process (tests, embedding) by returning the code.
+        return int(exc.code or 0)
 
 
 if __name__ == "__main__":

@@ -1,11 +1,14 @@
 """Table rendering and scaling-law fits for experiment-sweep rows.
 
-Bridges :func:`repro.sim.experiments.run_sweep` (tidy rows) to the analysis
-toolkit: :func:`sweep_table` renders the rows as the usual monospace
-experiment table, :func:`fit_sweep` fits a power law ``y = a * n^b`` per
-scenario (averaging over seeds at each size), and :func:`sweep_report`
-stitches both into one Markdown section — the same shape the recorded
-benchmark tables feed into :mod:`repro.analysis.report`.
+Bridges the sweep executor (:func:`repro.api.run_sweep_spec` tidy rows, or
+a persistent :class:`repro.api.ResultSet`) to the analysis toolkit:
+:func:`sweep_table` renders the rows as the usual monospace experiment
+table, :func:`fit_sweep` fits a power law ``y = a * n^b`` per scenario
+(averaging over seeds at each size), and :func:`sweep_report` stitches both
+into one Markdown section — the same shape the recorded benchmark tables
+feed into :mod:`repro.analysis.report`.  Every entry point accepts either a
+list of row dicts or a :class:`~repro.api.ResultSet` (records' extra
+``metrics`` payloads are ignored by the tabular views).
 """
 
 from __future__ import annotations
@@ -18,15 +21,20 @@ from .tables import render_table
 __all__ = ["sweep_table", "fit_sweep", "sweep_report"]
 
 
-def sweep_table(rows: list[dict], title: str = "experiment sweep") -> str:
+def _as_rows(rows) -> list[dict]:
+    """Accept a plain row list or anything with ``.rows()`` (a ResultSet)."""
+    return rows.rows() if hasattr(rows, "rows") else list(rows)
+
+
+def sweep_table(rows, title: str = "experiment sweep") -> str:
     """Render sweep rows as an aligned table in :data:`ROW_FIELDS` order."""
     from ..sim.experiments import ROW_FIELDS
 
-    body = [[row[field] for field in ROW_FIELDS] for row in rows]
+    body = [[row[field] for field in ROW_FIELDS] for row in _as_rows(rows)]
     return render_table(title, list(ROW_FIELDS), body)
 
 
-def fit_sweep(rows: list[dict], y: str = "rounds") -> dict[str, PowerFit]:
+def fit_sweep(rows, y: str = "rounds") -> dict[str, PowerFit]:
     """Per-scenario power-law fit of column ``y`` against ``n``.
 
     Rows are grouped by scenario; multiple seeds at one size are averaged
@@ -34,7 +42,7 @@ def fit_sweep(rows: list[dict], y: str = "rounds") -> dict[str, PowerFit]:
     skipped (a fit needs a sweep).
     """
     grouped: dict[str, dict[int, list[float]]] = defaultdict(lambda: defaultdict(list))
-    for row in rows:
+    for row in _as_rows(rows):
         grouped[row["scenario"]][row["n"]].append(float(row[y]))
     fits: dict[str, PowerFit] = {}
     for scenario, by_n in grouped.items():
@@ -48,8 +56,9 @@ def fit_sweep(rows: list[dict], y: str = "rounds") -> dict[str, PowerFit]:
     return fits
 
 
-def sweep_report(rows: list[dict], title: str = "experiment sweep", y: str = "rounds") -> str:
+def sweep_report(rows, title: str = "experiment sweep", y: str = "rounds") -> str:
     """Markdown report: the sweep table plus per-scenario scaling fits."""
+    rows = _as_rows(rows)
     sections = [f"## {title}\n", "```", sweep_table(rows, title), "```\n"]
     fits = fit_sweep(rows, y=y)
     if fits:

@@ -1,0 +1,185 @@
+"""Declarative algorithm registry: :class:`AlgorithmSpec` + discovery.
+
+Every algorithm the sweep can run is described by one
+:class:`AlgorithmSpec` — name, dotted entry point, execution model, oracle,
+and a parameter schema — instead of an ad hoc driver closure.  The driver
+callable itself is resolved lazily from ``entry_point`` (``"module:attr"``),
+so registration is import-light and the registry is fully serializable (a
+registry dump is just a list of spec dicts).
+
+Third-party scenarios plug in without editing this module, via either
+
+* Python entry points in the ``repro.scenarios`` group — an installed
+  distribution declares ``[project.entry-points."repro.scenarios"]`` and the
+  loaded object (a module or zero-argument callable) registers its
+  algorithms/scenarios on import/call; or
+* the ``REPRO_PLUGINS`` environment variable — a comma-separated list of
+  ``module`` or ``module:callable`` strings, same contract, no packaging
+  required.
+
+:func:`discover` runs both once per process; the scenario registry invokes
+it automatically before resolving names, so ``repro sweep --scenarios
+yourpkg/custom`` works as soon as the plugin is importable.
+"""
+
+from __future__ import annotations
+
+import importlib
+import os
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+__all__ = [
+    "AlgorithmSpec",
+    "register_algorithm_spec",
+    "get_algorithm_spec",
+    "list_algorithm_specs",
+    "resolve_entry_point",
+    "discover",
+]
+
+#: Entry-point group scanned by :func:`discover`.
+PLUGIN_GROUP = "repro.scenarios"
+#: Environment variable naming extra plugin modules (comma-separated).
+PLUGIN_ENV = "REPRO_PLUGINS"
+
+
+def resolve_entry_point(entry_point: str) -> Callable:
+    """Resolve ``"pkg.module:attr"`` (or dotted ``attr.sub``) to the object."""
+    module_name, sep, attr_path = entry_point.partition(":")
+    if not sep or not module_name or not attr_path:
+        raise ValueError(
+            f"entry point {entry_point!r} must look like 'package.module:attribute'"
+        )
+    obj = importlib.import_module(module_name)
+    for part in attr_path.split("."):
+        obj = getattr(obj, part)
+    return obj
+
+
+@dataclass(frozen=True)
+class AlgorithmSpec:
+    """One registered algorithm, declaratively.
+
+    ``entry_point`` names the uniform driver ``driver(graph, seed, metrics,
+    **params)`` as ``"module:attr"``; ``oracle`` (optional, same syntax)
+    names the sequential ground truth the driver self-verifies against.
+    ``model`` records the execution model the costs are metered in
+    (``"congest"`` or ``"sleeping"``), and ``param_schema`` is a tuple of
+    ``(param_name, type_name)`` pairs documenting the driver's keyword
+    parameters.  The callable is resolved lazily and cached per process, so
+    forked sweep workers resolve it independently via a plain import.
+    """
+
+    name: str
+    entry_point: str
+    model: str = "congest"
+    oracle: str | None = None
+    param_schema: tuple = ()
+    description: str = ""
+    # Escape hatch for in-process registration (tests, notebooks): a direct
+    # callable wins over entry_point but cannot be serialized or re-imported.
+    driver: Callable | None = field(default=None, compare=False, repr=False)
+
+    def resolve(self) -> Callable:
+        """The driver callable behind this spec."""
+        if self.driver is not None:
+            return self.driver
+        resolved = _RESOLVED.get(self.name)
+        if resolved is None:
+            resolved = resolve_entry_point(self.entry_point)
+            _RESOLVED[self.name] = resolved
+        return resolved
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "entry_point": self.entry_point,
+            "model": self.model,
+            "oracle": self.oracle,
+            "param_schema": [list(pair) for pair in self.param_schema],
+            "description": self.description,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "AlgorithmSpec":
+        data = dict(data)
+        data["param_schema"] = tuple(tuple(pair) for pair in data.get("param_schema", ()))
+        return cls(**data)
+
+
+_SPECS: dict[str, AlgorithmSpec] = {}
+_RESOLVED: dict[str, Callable] = {}
+
+
+def register_algorithm_spec(spec: AlgorithmSpec) -> AlgorithmSpec:
+    """Register ``spec`` (replacing any same-named entry) and return it."""
+    if not spec.name:
+        raise ValueError("algorithm spec needs a non-empty name")
+    if spec.driver is None and not spec.entry_point:
+        raise ValueError(f"algorithm spec {spec.name!r} needs an entry_point or driver")
+    _SPECS[spec.name] = spec
+    _RESOLVED.pop(spec.name, None)
+    return spec
+
+
+def get_algorithm_spec(name: str) -> AlgorithmSpec:
+    try:
+        return _SPECS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown algorithm {name!r}; registered: {sorted(_SPECS)}"
+        ) from None
+
+
+def list_algorithm_specs() -> list[AlgorithmSpec]:
+    """All registered specs, name-sorted."""
+    return [_SPECS[name] for name in sorted(_SPECS)]
+
+
+# ----------------------------------------------------------------------
+# plugin discovery
+# ----------------------------------------------------------------------
+_discovered = False
+
+
+def _load_plugin(target) -> None:
+    """Import/call one plugin target; registration is its import side effect."""
+    obj = target
+    if isinstance(target, str):
+        obj = (
+            resolve_entry_point(target) if ":" in target
+            else importlib.import_module(target)
+        )
+    if callable(obj):
+        obj()
+
+
+def discover(*, force: bool = False) -> list[str]:
+    """Load scenario plugins from entry points and ``REPRO_PLUGINS``.
+
+    Runs at most once per process unless ``force=True``.  Returns the list
+    of plugin names that loaded; failures raise so a broken plugin is loud
+    rather than silently absent.
+    """
+    global _discovered
+    if _discovered and not force:
+        return []
+    _discovered = True
+    loaded: list[str] = []
+    try:
+        from importlib import metadata
+    except ImportError:  # pragma: no cover - py3.7 fallback, not supported
+        metadata = None
+    if metadata is not None:
+        try:
+            entry_points = metadata.entry_points(group=PLUGIN_GROUP)
+        except TypeError:  # pragma: no cover - pre-3.10 select API
+            entry_points = metadata.entry_points().get(PLUGIN_GROUP, ())
+        for entry in entry_points:
+            _load_plugin(entry.load())
+            loaded.append(entry.name)
+    for target in filter(None, os.environ.get(PLUGIN_ENV, "").split(",")):
+        _load_plugin(target.strip())
+        loaded.append(target.strip())
+    return loaded

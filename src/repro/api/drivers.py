@@ -1,0 +1,137 @@
+"""Built-in algorithm drivers, registered declaratively.
+
+Each driver adapts one library entry point to the uniform sweep shape
+``driver(graph, seed, metrics, **params)`` and *self-verifies* against the
+sequential oracle named in its :class:`~repro.api.AlgorithmSpec`.  The specs
+below are the library's own registrations through the same declarative path
+third-party plugins use — nothing here is special-cased.
+"""
+
+from __future__ import annotations
+
+from .algorithms import AlgorithmSpec, register_algorithm_spec
+
+__all__ = [
+    "BUILTIN_ALGORITHMS",
+    "DriverError",
+    "drive_sssp",
+    "drive_cssp",
+    "drive_bellman_ford",
+    "drive_dijkstra",
+    "drive_bfs",
+    "drive_energy_bfs",
+]
+
+
+class DriverError(RuntimeError):
+    """A driver's output disagreed with its sequential oracle."""
+
+
+def _first_node(graph):
+    return next(iter(graph.nodes()))
+
+
+def _check(actual: dict, expected: dict, what: str) -> None:
+    if actual != expected:
+        bad = [(u, actual.get(u), expected[u]) for u in expected if actual.get(u) != expected[u]]
+        raise DriverError(f"{what}: output disagrees with oracle, e.g. {bad[:3]}")
+
+
+def drive_sssp(graph, seed: int, metrics) -> None:
+    """The paper's SSSP (Thm 2.6 pipeline), checked against Dijkstra."""
+    from ..core import sssp
+
+    source = _first_node(graph)
+    result = sssp(graph, source)
+    _check(result.distances, graph.dijkstra([source]), "sssp")
+    metrics.merge(result.metrics)
+
+
+def drive_cssp(graph, seed: int, metrics) -> None:
+    """Thresholded recursive CSSP, checked against Dijkstra."""
+    from ..core import cssp
+
+    source = _first_node(graph)
+    distances, _ = cssp(graph, {source: 0}, metrics=metrics)
+    _check(distances, graph.dijkstra([source]), "cssp")
+
+
+def drive_bellman_ford(graph, seed: int, metrics) -> None:
+    """Distributed Bellman-Ford baseline, checked against Dijkstra."""
+    from ..baselines import run_bellman_ford
+
+    source = _first_node(graph)
+    _check(run_bellman_ford(graph, source, metrics=metrics), graph.dijkstra([source]), "bellman-ford")
+
+
+def drive_dijkstra(graph, seed: int, metrics) -> None:
+    """Naive distributed Dijkstra baseline, checked against Dijkstra."""
+    from ..baselines import run_distributed_dijkstra
+
+    source = _first_node(graph)
+    _check(
+        run_distributed_dijkstra(graph, source, metrics=metrics),
+        graph.dijkstra([source]),
+        "dijkstra",
+    )
+
+
+def drive_bfs(graph, seed: int, metrics) -> None:
+    """Unweighted CONGEST BFS, checked against hop distances."""
+    from ..core import run_bfs
+
+    source = _first_node(graph)
+    _check(run_bfs(graph, [source], metrics=metrics), graph.hop_distances([source]), "bfs")
+
+
+def drive_energy_bfs(graph, seed: int, metrics, base: int = 4, stretch: int = 3) -> None:
+    """Sleeping-model BFS (Thm 3.8) — the sweep's energy-metric workload."""
+    from ..energy.covers import build_layered_cover
+    from ..energy.low_energy_bfs import run_low_energy_bfs
+
+    source = _first_node(graph)
+    cover = build_layered_cover(graph, graph.num_nodes, base=base, stretch=stretch)
+    distances, _ = run_low_energy_bfs(
+        graph, cover, {source: 0}, graph.num_nodes, metrics=metrics
+    )
+    _check(distances, graph.hop_distances([source]), "energy-bfs")
+
+
+_HERE = __name__  # "repro.api.drivers"
+
+BUILTIN_ALGORITHMS = (
+    AlgorithmSpec(
+        "sssp", f"{_HERE}:drive_sssp", model="congest",
+        oracle="repro.graphs:Graph.dijkstra",
+        description="paper SSSP (Thm 2.6 pipeline)",
+    ),
+    AlgorithmSpec(
+        "cssp", f"{_HERE}:drive_cssp", model="congest",
+        oracle="repro.graphs:Graph.dijkstra",
+        description="thresholded recursive CSSP (Thms 2.6/2.7)",
+    ),
+    AlgorithmSpec(
+        "bellman-ford", f"{_HERE}:drive_bellman_ford", model="congest",
+        oracle="repro.graphs:Graph.dijkstra",
+        description="distributed Bellman-Ford baseline",
+    ),
+    AlgorithmSpec(
+        "dijkstra", f"{_HERE}:drive_dijkstra", model="congest",
+        oracle="repro.graphs:Graph.dijkstra",
+        description="naive distributed Dijkstra baseline",
+    ),
+    AlgorithmSpec(
+        "bfs", f"{_HERE}:drive_bfs", model="congest",
+        oracle="repro.graphs:Graph.hop_distances",
+        description="unweighted CONGEST BFS",
+    ),
+    AlgorithmSpec(
+        "energy-bfs", f"{_HERE}:drive_energy_bfs", model="sleeping",
+        oracle="repro.graphs:Graph.hop_distances",
+        param_schema=(("base", "int"), ("stretch", "int")),
+        description="sleeping-model BFS over a layered cover (Thm 3.8)",
+    ),
+)
+
+for _spec in BUILTIN_ALGORITHMS:
+    register_algorithm_spec(_spec)

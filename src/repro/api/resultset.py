@@ -1,0 +1,143 @@
+"""Durable, streaming, resumable sweep-result stores.
+
+A :class:`ResultSet` is an append-only JSONL file (or a purely in-memory
+buffer when ``path=None``): one JSON object per line, one line per completed
+``(scenario, size, seed)`` cell.  Each record carries the tidy row fields
+(:data:`repro.sim.experiments.ROW_FIELDS`) plus a ``"metrics"`` sub-object —
+the full serialized :class:`~repro.sim.Metrics` of the run — so downstream
+analysis never has to re-execute a cell to recover its cost profile.
+
+Records are flushed line-by-line as cells finish, which makes the store
+interruption-safe: a killed sweep leaves at most one truncated trailing
+line, which :meth:`ResultSet.open` tolerates and drops on reload.  Resume
+(:func:`repro.api.run_sweep_spec`) is key-based — :func:`cell_key` maps a
+record to its cell — so finished work is never re-run and the reassembled
+table is identical to an uninterrupted run.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+__all__ = ["ResultSet", "cell_key"]
+
+
+def cell_key(row: dict) -> tuple:
+    """The resume key of a record: ``(scenario, n, seed)``."""
+    return (row["scenario"], row["n"], row["seed"])
+
+
+class ResultSet:
+    """An append-only store of sweep records with key-based resume.
+
+    ``path=None`` keeps records in memory only (the non-persistent fast
+    path used by the legacy :func:`~repro.sim.experiments.run_sweep` shim).
+    With a path, every :meth:`append` writes and flushes one JSONL line, and
+    construction loads any records a previous (possibly interrupted) run
+    left behind.
+    """
+
+    def __init__(self, path: str | Path | None = None):
+        self.path = Path(path) if path is not None else None
+        self._rows: list[dict] = []
+        self._by_key: dict[tuple, dict] = {}
+        self._handle = None
+        if self.path is not None and self.path.exists():
+            self._load()
+
+    @classmethod
+    def open(cls, path: str | Path) -> "ResultSet":
+        """Open (creating parent directories) a persistent store at ``path``."""
+        target = Path(path)
+        if target.parent and not target.parent.exists():
+            target.parent.mkdir(parents=True, exist_ok=True)
+        return cls(target)
+
+    def _load(self) -> None:
+        # Work on raw bytes so torn-tail truncation offsets are exact on
+        # every platform (text mode would newline-translate and shift them).
+        raw = self.path.read_bytes()
+        lines = raw.decode("utf-8").splitlines()
+        for index, line in enumerate(lines):
+            stripped = line.strip()
+            if not stripped:
+                continue
+            try:
+                record = json.loads(stripped)
+            except ValueError:
+                # A truncated trailing line is the signature of an
+                # interrupted run — drop it and resume from the cell
+                # before.  Truncate it away on disk too, so the next
+                # append starts a fresh line instead of concatenating onto
+                # the torn JSON.
+                if index == len(lines) - 1 and not raw.endswith(b"\n"):
+                    with self.path.open("rb+") as handle:
+                        handle.truncate(raw.rfind(b"\n") + 1)
+                    break
+                raise ValueError(
+                    f"{self.path}:{index + 1}: corrupt result line {stripped[:80]!r}"
+                ) from None
+            self._remember(record)
+
+    def _remember(self, record: dict) -> None:
+        key = cell_key(record)
+        if key in self._by_key:
+            return  # first write wins: resumed runs may not duplicate cells
+        self._rows.append(record)
+        self._by_key[key] = record
+
+    # ------------------------------------------------------------------
+    # writing
+    # ------------------------------------------------------------------
+    def append(self, record: dict) -> None:
+        """Add one completed-cell record, streaming it to disk immediately."""
+        if cell_key(record) in self._by_key:
+            return
+        self._remember(record)
+        if self.path is not None:
+            if self._handle is None:
+                # newline="\n" keeps the on-disk format identical across
+                # platforms (and the torn-tail byte math exact).
+                self._handle = self.path.open("a", newline="\n")
+            self._handle.write(json.dumps(record, sort_keys=True) + "\n")
+            self._handle.flush()
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "ResultSet":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # reading
+    # ------------------------------------------------------------------
+    def rows(self) -> list[dict]:
+        """All records in append order (full records, ``metrics`` included)."""
+        return list(self._rows)
+
+    def get(self, key: tuple) -> dict | None:
+        """The record for cell ``key``, or ``None`` if not yet run."""
+        return self._by_key.get(key)
+
+    def completed(self) -> set[tuple]:
+        """The set of finished :func:`cell_key` tuples (the resume index)."""
+        return set(self._by_key)
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self):
+        return iter(self._rows)
+
+    def __contains__(self, key: tuple) -> bool:
+        return key in self._by_key
+
+    def __repr__(self) -> str:
+        where = str(self.path) if self.path is not None else "memory"
+        return f"ResultSet({where!r}, {len(self)} rows)"

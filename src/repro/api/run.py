@@ -1,0 +1,219 @@
+"""Spec executors: the one engine behind every front end.
+
+:func:`run_sweep_spec` is the production path of the experiment harness —
+``python -m repro sweep``, the ``repro`` console script, the CI smoke entry,
+and the legacy :func:`repro.sim.experiments.run_sweep` shim all funnel into
+it.  It owns the orchestration policy:
+
+* **fail fast** — the spec is validated and every scenario name resolved
+  *before* any worker forks;
+* **resume** — when the target :class:`~repro.api.ResultSet` already holds
+  rows, completed ``(scenario, size, seed)`` cells are reused verbatim and
+  only the missing cells run; the returned table is identical to an
+  uninterrupted run (rows follow cross-product order either way);
+* **locality** — missing cells are grouped by graph-instance key so one
+  worker builds each graph once and serves every scenario over it from the
+  per-process cache (see :mod:`repro.sim.experiments`);
+* **streaming** — each finished cell is appended (and flushed) to the store
+  and reported through the ``progress`` callback as it lands, so an
+  interrupted sweep loses at most the in-flight cells.
+
+:func:`run_bench_spec` and :func:`run_report_spec` give the bench/report
+jobs the same spec-in, artifact-out shape.
+"""
+
+from __future__ import annotations
+
+import functools
+import multiprocessing
+from collections.abc import Callable
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from .resultset import ResultSet, cell_key
+from .specs import BenchSpec, ReportSpec, Spec, SpecError, SweepSpec
+
+__all__ = [
+    "run_sweep_spec",
+    "run_bench_spec",
+    "run_report_spec",
+    "run_spec",
+    "smoke_spec",
+    "BenchOutcome",
+]
+
+#: Scenario selection of the fixed tiny CI sweep (``repro sweep --smoke``).
+SMOKE_SCENARIOS = ("sssp/er", "bellman-ford/er", "bfs/grid", "energy-bfs/path")
+
+
+def smoke_spec(workers: int | None = None, output: str | None = None) -> SweepSpec:
+    """The fixed tiny sweep spec behind ``repro sweep --smoke`` (CI entry)."""
+    return SweepSpec(
+        scenarios=SMOKE_SCENARIOS,
+        sizes=(12, 20),
+        seeds=(0,),
+        workers=workers or 1,
+        output=output,
+    )
+
+
+def _tidy(record: dict, row_fields: tuple) -> dict:
+    """Project a stored record onto the tidy row columns, in order."""
+    return {name: record[name] for name in row_fields}
+
+
+def run_sweep_spec(
+    spec: SweepSpec,
+    *,
+    store: ResultSet | None = None,
+    progress: Callable[[int, int, dict], None] | None = None,
+) -> list[dict]:
+    """Execute ``spec``, resuming against its store; return the tidy table.
+
+    ``store`` overrides ``spec.output`` (handy for tests and in-memory
+    runs); ``progress(completed, total, row)`` is invoked once per *newly
+    executed* cell, where ``completed`` counts reused cells too.  Rows come
+    back in cross-product order (scenario-major, then size, then seed) —
+    identical at any worker count, with or without resume.
+    """
+    from ..sim import experiments
+
+    spec = spec.validate()
+    if spec.scenarios is None:
+        # "All registered" must include plugin scenarios, so force the
+        # discovery scan; explicitly named scenarios defer it — an unknown
+        # name triggers discovery lazily inside get_scenario, keeping the
+        # common path free of the importlib.metadata scan.
+        experiments.ensure_discovered()
+    names = (
+        list(spec.scenarios) if spec.scenarios is not None
+        else experiments.list_scenarios()
+    )
+    for name in names:
+        experiments.get_scenario(name)  # fail fast, before forking
+    if store is None:
+        store = ResultSet.open(spec.output) if spec.output else ResultSet()
+
+    tasks = spec.cells(names)
+    total = len(tasks)
+    rows: list[dict | None] = [None] * total
+    pending: list[tuple[int, str, int, int]] = []
+    for index, (name, n, seed) in enumerate(tasks):
+        record = store.get((name, n, seed))
+        if record is not None:
+            rows[index] = _tidy(record, experiments.ROW_FIELDS)
+        else:
+            pending.append((index, name, n, seed))
+
+    completed = total - len(pending)
+
+    # Serialized metrics only matter when they will outlive the run — an
+    # in-memory store is discarded with its records, so skip the O(E log E)
+    # per-cell serialization (and the pool-pipe traffic) on that path.
+    with_metrics = store.path is not None
+
+    def land(index: int, row: dict, metrics: dict | None) -> None:
+        nonlocal completed
+        store.append({**row, "metrics": metrics} if with_metrics else dict(row))
+        rows[index] = row
+        completed += 1
+        if progress is not None:
+            progress(completed, total, row)
+
+    # Group pending cells by graph-instance key (first-seen order) so each
+    # group lands on one worker and hits its per-process graph cache.
+    groups: dict[tuple, list[tuple[int, str, int, int]]] = {}
+    for index, name, n, seed in pending:
+        key = experiments._instance_key(experiments.get_scenario(name), n, seed)
+        groups.setdefault(key, []).append((index, name, n, seed))
+    group_list = list(groups.values())
+
+    parallel = spec.workers > 1 and len(group_list) > 1
+    context = None
+    if parallel:
+        try:
+            context = multiprocessing.get_context("fork")
+        except ValueError:
+            context = None  # no fork on this platform: run sequentially
+    run_group = functools.partial(experiments._run_cell_group, with_metrics=with_metrics)
+    if context is not None:
+        with context.Pool(min(spec.workers, len(group_list))) as pool:
+            for chunk in pool.imap_unordered(run_group, group_list):
+                for index, row, metrics in chunk:
+                    land(index, row, metrics)
+    else:
+        for group in group_list:
+            for index, row, metrics in run_group(group):
+                land(index, row, metrics)
+    store.close()
+    return rows
+
+
+@dataclass(frozen=True)
+class BenchOutcome:
+    """What a :class:`BenchSpec` run produced and how it compares.
+
+    ``results`` maps experiment name to median ms.  In gate mode (``quick``)
+    ``violations`` lists the experiments that exceeded the budget against
+    ``baseline`` (``None`` when no baseline was recorded); otherwise the
+    refreshed baseline was written to ``wrote``.
+    """
+
+    results: dict = field(default_factory=dict)
+    violations: tuple = ()
+    baseline: dict | None = None
+    baseline_path: str = "BENCH.json"
+    wrote: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+
+def run_bench_spec(spec: BenchSpec) -> BenchOutcome:
+    """Time the pinned workloads per ``spec``; gate or record the baseline."""
+    from .. import bench
+
+    spec = spec.validate()
+    repeats = 1 if spec.quick else spec.repeats
+    try:
+        results = bench.run_bench(spec.experiments, repeats=repeats)
+    except ValueError as exc:
+        raise SpecError(str(exc)) from None
+    baseline_path = spec.output or "BENCH.json"
+    if not spec.quick:
+        target = bench.write_bench(results, baseline_path)
+        return BenchOutcome(results, baseline_path=baseline_path, wrote=str(target))
+    # Gate mode: load the recorded baseline BEFORE any write, so an output
+    # path equal to the baseline path can never gate results against
+    # themselves; write only when an explicit output path was given.
+    baseline = bench.load_bench(baseline_path)
+    wrote = None
+    if spec.output:
+        wrote = str(bench.write_bench(results, spec.output))
+    violations = () if baseline is None else tuple(
+        bench.compare_to_baseline(results, baseline, factor=spec.factor)
+    )
+    return BenchOutcome(results, violations, baseline, baseline_path, wrote)
+
+
+def run_report_spec(spec: ReportSpec) -> str:
+    """Compile the recorded tables per ``spec``; write ``spec.output`` if set."""
+    from ..analysis.report import compile_report
+
+    spec = spec.validate()
+    text = compile_report(spec.results_dir)
+    if spec.output:
+        Path(spec.output).write_text(text)
+    return text
+
+
+def run_spec(spec: Spec, **kwargs):
+    """Dispatch any spec to its executor (the ``kind``-tag single entry point)."""
+    if isinstance(spec, SweepSpec):
+        return run_sweep_spec(spec, **kwargs)
+    if isinstance(spec, BenchSpec):
+        return run_bench_spec(spec, **kwargs)
+    if isinstance(spec, ReportSpec):
+        return run_report_spec(spec, **kwargs)
+    raise SpecError(f"no executor for spec of type {type(spec).__name__}")

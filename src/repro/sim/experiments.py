@@ -1,4 +1,4 @@
-"""Scenario registry and parallel experiment orchestrator.
+"""Scenario registry and the per-cell experiment engine.
 
 Every result in the paper is a *metered execution*: run a protocol over a
 graph family at a sweep of sizes and read off the four complexity currencies
@@ -10,25 +10,28 @@ data:
   graphs".  Scenarios live in a registry (:func:`register_scenario`,
   :func:`get_scenario`, :func:`list_scenarios`) so new workloads are one
   registration, not a new benchmark harness;
-* an **algorithm driver** adapts one library entry point to the uniform
-  ``driver(graph, seed, metrics)`` shape and *self-verifies* against the
-  sequential oracle where one exists (:func:`register_algorithm`);
-* :func:`run_sweep` fans the cross product *(scenario x size x seed)* across
-  ``multiprocessing`` workers — each run is independent and gets an explicit
-  per-run seed — and collects one tidy row per run.  The result table is a
-  pure function of the task list, so the same seeds yield an identical table
-  for any worker count (results come back in task order, timing fields are
-  deliberately excluded).
+* an **algorithm** is registered declaratively through
+  :class:`repro.api.AlgorithmSpec` (name, entry point, model, oracle, param
+  schema) — the built-ins live in :mod:`repro.api.drivers`, and third-party
+  scenarios plug in via entry-point discovery
+  (:func:`repro.api.algorithms.discover`) without editing this module;
+* :func:`run_scenario` executes one *(scenario, size, seed)* cell — with a
+  per-process graph-instance cache — and returns its tidy row.
 
-The CLI front end is ``python -m repro sweep`` (``--smoke`` for the tiny CI
-entry); :mod:`repro.analysis.sweeps` renders tables and fits scaling laws
-over the rows.
+Orchestration lives one layer up, in :mod:`repro.api`: build a
+:class:`~repro.api.SweepSpec` and hand it to
+:func:`~repro.api.run_sweep_spec`, which shards the cross product across
+``multiprocessing`` workers, streams rows into a resumable
+:class:`~repro.api.ResultSet`, and skips cells an earlier (possibly
+interrupted) run already finished.  :func:`run_sweep` survives here as a
+thin **deprecated** shim over that path and returns the identical rows.
 
 Example::
 
-    from repro.sim.experiments import run_sweep
-    rows = run_sweep(["sssp/er", "bellman-ford/er"], sizes=(16, 32, 64),
-                     seeds=(0, 1), workers=4)
+    from repro.api import SweepSpec, run_sweep_spec
+    rows = run_sweep_spec(SweepSpec(scenarios=("sssp/er", "bellman-ford/er"),
+                                    sizes=(16, 32, 64), seeds=(0, 1),
+                                    workers=4))
 
 Notes on parallelism: workers are forked, so scenarios registered at import
 time (including any registered by your own modules before the sweep starts)
@@ -39,20 +42,28 @@ Graph caching: scenario cells that share a ``(family, max_weight, n, seed)``
 instance — e.g. ``sssp/er`` and ``bellman-ford/er`` at the same size and
 seed — reuse one graph object per worker instead of regenerating it, which
 also carries the frozen :class:`~repro.graphs.IndexedGraph` view across
-cells.  ``run_sweep`` groups the task list by instance key so each group
-lands on one worker (maximizing cache hits), then restores cross-product
-row order before returning — the tidy table is bit-identical at any worker
-count, cache hits or not.  Algorithms must treat graphs as read-only (the
-library-wide append-only convention); :func:`clear_graph_cache` drops the
-cache (mostly for tests).
+cells.  The sweep executor groups the task list by instance key so each
+group lands on one worker (maximizing cache hits), then restores
+cross-product row order before returning — the tidy table is bit-identical
+at any worker count, cache hits or not.  Algorithms must treat graphs as
+read-only (the library-wide append-only convention);
+:func:`clear_graph_cache` drops the cache (mostly for tests).
 """
 
 from __future__ import annotations
 
-import multiprocessing
+import warnings
 from collections.abc import Callable, Iterable, Sequence
 from dataclasses import dataclass
 
+from ..api.algorithms import (
+    AlgorithmSpec,
+    discover,
+    get_algorithm_spec,
+    list_algorithm_specs,
+    register_algorithm_spec,
+)
+from ..api.drivers import BUILTIN_ALGORITHMS, DriverError  # noqa: F401 (registers built-ins)
 from ..graphs import generators
 from .metrics import Metrics
 
@@ -96,11 +107,12 @@ class Scenario:
     """One registered workload: a graph family, an algorithm, and parameters.
 
     ``family`` keys into :data:`repro.graphs.generators.FAMILIES`;
-    ``algorithm`` keys into the driver registry.  ``max_weight > 1`` gives
-    instances random integer weights in ``[1, max_weight]`` drawn from the
-    per-run seed, so every ``(size, seed)`` cell is a distinct instance.
-    ``params`` is a tuple of ``(key, value)`` pairs forwarded to the driver
-    (kept as a tuple so scenarios stay hashable and picklable).
+    ``algorithm`` keys into the :class:`~repro.api.AlgorithmSpec` registry.
+    ``max_weight > 1`` gives instances random integer weights in
+    ``[1, max_weight]`` drawn from the per-run seed, so every ``(size,
+    seed)`` cell is a distinct instance.  ``params`` is a tuple of ``(key,
+    value)`` pairs forwarded to the driver (kept as a tuple so scenarios
+    stay hashable and picklable).
     """
 
     name: str
@@ -114,13 +126,19 @@ class Scenario:
         return generators.make_family(self.family, n, self.max_weight, seed=seed)
 
 
-_ALGORITHMS: dict[str, Callable] = {}
 _SCENARIOS: dict[str, Scenario] = {}
 
 
 def register_algorithm(name: str, driver: Callable) -> None:
-    """Register ``driver(graph, seed, metrics, **params)`` under ``name``."""
-    _ALGORITHMS[name] = driver
+    """Register a bare ``driver(graph, seed, metrics, **params)`` callable.
+
+    Back-compat convenience: wraps the callable in an in-process
+    :class:`~repro.api.AlgorithmSpec`.  Prefer registering a full spec via
+    :func:`repro.api.register_algorithm_spec` — a spec'd algorithm is
+    serializable and survives re-import in forked workers either way, but
+    only the spec path documents model/oracle/params.
+    """
+    register_algorithm_spec(AlgorithmSpec(name, entry_point="", driver=driver))
 
 
 def register_scenario(scenario: Scenario) -> Scenario:
@@ -130,16 +148,25 @@ def register_scenario(scenario: Scenario) -> Scenario:
             f"scenario {scenario.name!r}: unknown family {scenario.family!r} "
             f"(options: {sorted(generators.FAMILIES)})"
         )
-    if scenario.algorithm not in _ALGORITHMS:
+    try:
+        get_algorithm_spec(scenario.algorithm)
+    except KeyError:
         raise SweepError(
             f"scenario {scenario.name!r}: unknown algorithm {scenario.algorithm!r} "
-            f"(options: {sorted(_ALGORITHMS)})"
-        )
+            f"(options: {[spec.name for spec in list_algorithm_specs()]})"
+        ) from None
     _SCENARIOS[scenario.name] = scenario
     return scenario
 
 
+def ensure_discovered() -> None:
+    """Load third-party scenario plugins (idempotent; see :func:`repro.api.discover`)."""
+    discover()
+
+
 def get_scenario(name: str) -> Scenario:
+    if name not in _SCENARIOS:
+        ensure_discovered()  # a plugin may register it on first load
     try:
         return _SCENARIOS[name]
     except KeyError:
@@ -153,83 +180,7 @@ def list_scenarios() -> list[str]:
 
 
 def list_algorithms() -> list[str]:
-    return sorted(_ALGORITHMS)
-
-
-# ----------------------------------------------------------------------
-# built-in algorithm drivers (each self-verifies against an oracle)
-# ----------------------------------------------------------------------
-def _first_node(graph):
-    return next(iter(graph.nodes()))
-
-
-def _check(actual: dict, expected: dict, what: str) -> None:
-    if actual != expected:
-        bad = [(u, actual.get(u), expected[u]) for u in expected if actual.get(u) != expected[u]]
-        raise SweepError(f"{what}: output disagrees with oracle, e.g. {bad[:3]}")
-
-
-def _drive_sssp(graph, seed: int, metrics: Metrics) -> None:
-    from ..core import sssp
-
-    source = _first_node(graph)
-    result = sssp(graph, source)
-    _check(result.distances, graph.dijkstra([source]), "sssp")
-    metrics.merge(result.metrics)
-
-
-def _drive_cssp(graph, seed: int, metrics: Metrics) -> None:
-    from ..core import cssp
-
-    source = _first_node(graph)
-    distances, _ = cssp(graph, {source: 0}, metrics=metrics)
-    _check(distances, graph.dijkstra([source]), "cssp")
-
-
-def _drive_bellman_ford(graph, seed: int, metrics: Metrics) -> None:
-    from ..baselines import run_bellman_ford
-
-    source = _first_node(graph)
-    _check(run_bellman_ford(graph, source, metrics=metrics), graph.dijkstra([source]), "bellman-ford")
-
-
-def _drive_dijkstra(graph, seed: int, metrics: Metrics) -> None:
-    from ..baselines import run_distributed_dijkstra
-
-    source = _first_node(graph)
-    _check(
-        run_distributed_dijkstra(graph, source, metrics=metrics),
-        graph.dijkstra([source]),
-        "dijkstra",
-    )
-
-
-def _drive_bfs(graph, seed: int, metrics: Metrics) -> None:
-    from ..core import run_bfs
-
-    source = _first_node(graph)
-    _check(run_bfs(graph, [source], metrics=metrics), graph.hop_distances([source]), "bfs")
-
-
-def _drive_energy_bfs(graph, seed: int, metrics: Metrics) -> None:
-    """Sleeping-model BFS (Thm 3.8) — the sweep's energy-metric workload."""
-    from ..energy.covers import build_layered_cover
-    from ..energy.low_energy_bfs import run_low_energy_bfs
-
-    source = _first_node(graph)
-    cover = build_layered_cover(graph, graph.num_nodes, base=4, stretch=3)
-    distances, _ = run_low_energy_bfs(
-        graph, cover, {source: 0}, graph.num_nodes, metrics=metrics
-    )
-    _check(distances, graph.hop_distances([source]), "energy-bfs")
-
-
-register_algorithm("sssp", _drive_sssp)
-register_algorithm("cssp", _drive_cssp)
-register_algorithm("bellman-ford", _drive_bellman_ford)
-register_algorithm("dijkstra", _drive_dijkstra)
-register_algorithm("bfs", _drive_bfs)
-register_algorithm("energy-bfs", _drive_energy_bfs)
+    return [spec.name for spec in list_algorithm_specs()]
 
 
 # ----------------------------------------------------------------------
@@ -257,7 +208,7 @@ for _scenario in (
 
 
 # ----------------------------------------------------------------------
-# orchestration
+# per-cell execution (the worker-side engine)
 # ----------------------------------------------------------------------
 #: Per-process cache of generated graph instances, keyed by
 #: ``(family, max_weight, n, seed)`` — the full determinant of an instance.
@@ -286,20 +237,18 @@ def _cached_graph(scenario: Scenario, n: int, seed: int):
     return graph
 
 
-def run_scenario(name: str, n: int, seed: int = 0) -> dict:
-    """Run one (scenario, size, seed) cell and return its tidy row.
-
-    The graph instance comes from the per-process cache, so scenarios that
-    share a family/size/seed cell reuse one graph (and its indexed view).
-    Drivers must not mutate it — the library-wide append-only convention.
-    """
+def _run_cell(name: str, n: int, seed: int) -> tuple[dict, Metrics]:
+    """Execute one cell; return its tidy row and the full metrics object."""
     scenario = get_scenario(name)
     graph = _cached_graph(scenario, n, seed)
     metrics = Metrics()
-    driver = _ALGORITHMS[scenario.algorithm]
-    driver(graph, seed, metrics, **dict(scenario.params))
+    driver = get_algorithm_spec(scenario.algorithm).resolve()
+    try:
+        driver(graph, seed, metrics, **dict(scenario.params))
+    except DriverError as exc:
+        raise SweepError(str(exc)) from exc
     summary = metrics.summary()
-    return {
+    row = {
         "scenario": scenario.name,
         "family": scenario.family,
         "algorithm": scenario.algorithm,
@@ -312,66 +261,82 @@ def run_scenario(name: str, n: int, seed: int = 0) -> dict:
         "congestion": summary["congestion"],
         "energy": summary["energy"],
     }
+    return row, metrics
 
 
-def _run_task_group(group: list[tuple[int, str, int, int]]) -> list[tuple[int, dict]]:
-    """Run one locality group of ``(index, name, n, seed)`` tasks in order."""
-    return [(index, run_scenario(name, n, seed)) for index, name, n, seed in group]
+def run_scenario(name: str, n: int, seed: int = 0) -> dict:
+    """Run one (scenario, size, seed) cell and return its tidy row.
+
+    The graph instance comes from the per-process cache, so scenarios that
+    share a family/size/seed cell reuse one graph (and its indexed view).
+    Drivers must not mutate it — the library-wide append-only convention.
+    """
+    row, _ = _run_cell(name, n, seed)
+    return row
 
 
+def _run_cell_group(
+    group: list[tuple[int, str, int, int]], with_metrics: bool = True
+) -> list[tuple[int, dict, dict | None]]:
+    """Run one locality group of ``(index, name, n, seed)`` tasks in order.
+
+    Returns ``(index, tidy_row, metrics_dict)`` triples — the serialized
+    metrics ride along so the sweep executor can persist them to the
+    :class:`~repro.api.ResultSet` without re-running the cell.
+    ``with_metrics=False`` (in-memory stores, which discard them) skips the
+    O(E log E) serialization and keeps the worker pipes lean.
+    """
+    out = []
+    for index, name, n, seed in group:
+        row, metrics = _run_cell(name, n, seed)
+        out.append((index, row, metrics.to_dict() if with_metrics else None))
+    return out
+
+
+# ----------------------------------------------------------------------
+# legacy orchestration shims (the spec path is repro.api.run_sweep_spec)
+# ----------------------------------------------------------------------
 def run_sweep(
     scenarios: Iterable[str] | None = None,
     sizes: Sequence[int] = (16, 32, 48),
     seeds: Sequence[int] = (0,),
     workers: int | None = None,
 ) -> list[dict]:
-    """Run every (scenario, size, seed) cell; return one tidy row per cell.
+    """Deprecated shim: run every (scenario, size, seed) cell in-memory.
 
-    ``workers=None`` or ``1`` runs in-process; ``workers > 1`` shards the
-    independent cells across a fork-based process pool.  Row order and
-    content are identical either way: rows follow the task cross product
-    (scenario-major, then size, then seed) and contain only deterministic
-    fields (:data:`ROW_FIELDS`).
-
-    Dispatch is chunked by graph instance: cells sharing a
-    ``(family, max_weight, n, seed)`` instance form one group, so a worker
-    builds each graph once and serves every scenario over it from its
-    per-process cache.  Results are re-ordered back to cross-product order,
-    so grouping never changes the table.
+    .. deprecated::
+        Build a :class:`repro.api.SweepSpec` and call
+        :func:`repro.api.run_sweep_spec` instead — same rows, plus JSON
+        specs, persistent stores, and resume.  This shim constructs the
+        equivalent spec and returns the identical tidy table.
     """
-    names = list(scenarios) if scenarios is not None else list_scenarios()
-    for name in names:
-        get_scenario(name)  # fail fast on unknown names, before forking
-    tasks = [(name, n, seed) for name in names for n in sizes for seed in seeds]
-    # Group by graph-instance key (first-seen order) for cache locality.
-    groups: dict[tuple, list[tuple[int, str, int, int]]] = {}
-    for index, (name, n, seed) in enumerate(tasks):
-        key = _instance_key(get_scenario(name), n, seed)
-        groups.setdefault(key, []).append((index, name, n, seed))
-    group_list = list(groups.values())
-    rows: list[dict | None] = [None] * len(tasks)
-    if workers is not None and workers > 1 and len(group_list) > 1:
-        try:
-            context = multiprocessing.get_context("fork")
-        except ValueError:
-            context = None
-        if context is not None:
-            with context.Pool(min(workers, len(group_list))) as pool:
-                for chunk in pool.map(_run_task_group, group_list):
-                    for index, row in chunk:
-                        rows[index] = row
-            return rows
-    for group in group_list:
-        for index, row in _run_task_group(group):
-            rows[index] = row
-    return rows
+    warnings.warn(
+        "repro.sim.experiments.run_sweep is deprecated; build a "
+        "repro.api.SweepSpec and call repro.api.run_sweep_spec instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from ..api import SweepSpec, run_sweep_spec
+
+    # Preserve the historical contract exactly: an empty cross product
+    # (empty scenario list, sizes, or seeds) is an empty table, where the
+    # stricter SweepSpec validation would reject it.
+    names = tuple(scenarios) if scenarios is not None else None
+    sizes = tuple(sizes)
+    seeds = tuple(seeds)
+    if (names is not None and not names) or not sizes or not seeds:
+        return []
+    spec = SweepSpec(
+        scenarios=names,
+        sizes=sizes,
+        seeds=seeds,
+        workers=workers if workers is not None else 1,
+    )
+    return run_sweep_spec(spec)
 
 
 def smoke_sweep(workers: int | None = None) -> list[dict]:
     """The fixed tiny sweep behind ``python -m repro sweep --smoke`` (CI entry)."""
-    return run_sweep(
-        ["sssp/er", "bellman-ford/er", "bfs/grid", "energy-bfs/path"],
-        sizes=(12, 20),
-        seeds=(0,),
-        workers=workers,
-    )
+    from ..api import run_sweep_spec, smoke_spec
+
+    return run_sweep_spec(smoke_spec(workers=workers))

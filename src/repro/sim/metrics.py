@@ -122,6 +122,60 @@ class Metrics:
         out.merge(self)
         return out
 
+    # ------------------------------------------------------------------
+    # (de)serialization — the JSONL ResultSet row format
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """Lossless, JSON-ready form of the full accumulator state.
+
+        Counter entries are emitted as sorted ``[key..., count]`` triples /
+        pairs (sorted by key repr so the output is byte-stable regardless
+        of insertion order).  ``from_dict(to_dict())`` reproduces every
+        recorded quantity exactly — including the per-edge and per-node
+        breakdowns behind the four headline currencies — for the integer
+        node labels the graph substrate uses.
+        """
+        return {
+            "rounds": self.rounds,
+            "total_messages": self.total_messages,
+            "lost_messages": self.lost_messages,
+            "current_round": self.current_round,
+            "edge_messages": [
+                [src, dst, count]
+                for (src, dst), count in sorted(
+                    self.edge_messages.items(), key=lambda item: repr(item[0])
+                )
+            ],
+            "awake_rounds": [
+                [node, count]
+                for node, count in sorted(
+                    self.awake_rounds.items(), key=lambda item: repr(item[0])
+                )
+            ],
+            "subproblem_participation": [
+                [node, count]
+                for node, count in sorted(
+                    self.subproblem_participation.items(), key=lambda item: repr(item[0])
+                )
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Metrics":
+        """Rebuild a :class:`Metrics` from :meth:`to_dict` output."""
+        out = cls()
+        out.rounds = int(data["rounds"])
+        out.total_messages = int(data["total_messages"])
+        out.lost_messages = int(data["lost_messages"])
+        out.current_round = int(data.get("current_round", 0))
+        for src, dst, count in data["edge_messages"]:
+            out.edge_messages[(src, dst)] = count
+        for node, count in data["awake_rounds"]:
+            out.awake_rounds[node] = count
+        for node, count in data["subproblem_participation"]:
+            out.subproblem_participation[node] = count
+        return out
+
     def summary(self) -> dict[str, int]:
         """The headline numbers as a plain dict (for tables and logs)."""
         return {

@@ -1,4 +1,4 @@
-"""The scenario registry, sweep orchestrator, and ``sweep`` CLI surface."""
+"""The scenario registry, spec-driven sweep executor, and ``sweep`` CLI."""
 
 import random
 
@@ -6,6 +6,7 @@ import pytest
 
 from repro.__main__ import main
 from repro.analysis import fit_sweep, sweep_report, sweep_table
+from repro.api import SweepSpec, run_sweep_spec
 from repro.sim.experiments import (
     ROW_FIELDS,
     Scenario,
@@ -16,9 +17,16 @@ from repro.sim.experiments import (
     list_scenarios,
     register_scenario,
     run_scenario,
-    run_sweep,
     smoke_sweep,
 )
+
+
+def sweep(scenarios, sizes, seeds=(0,), workers=1):
+    """Run the cross product through the spec path (in-memory store)."""
+    return run_sweep_spec(
+        SweepSpec(scenarios=tuple(scenarios), sizes=tuple(sizes),
+                  seeds=tuple(seeds), workers=workers)
+    )
 
 
 class TestRegistry:
@@ -57,6 +65,27 @@ class TestRegistry:
 
             experiments._SCENARIOS.pop(name, None)
 
+    def test_legacy_register_algorithm_callable(self):
+        from repro.api import algorithms
+        from repro.sim import experiments
+        from repro.sim.experiments import register_algorithm
+
+        calls = []
+
+        def driver(graph, seed, metrics):
+            calls.append(seed)
+            metrics.record_rounds(1)
+
+        register_algorithm("test-only-driver", driver)
+        register_scenario(Scenario("test-only/driver", "path", "test-only-driver"))
+        try:
+            row = run_scenario("test-only/driver", 6, seed=9)
+            assert calls == [9]
+            assert row["rounds"] == 1
+        finally:
+            experiments._SCENARIOS.pop("test-only/driver", None)
+            algorithms._SPECS.pop("test-only-driver", None)
+
 
 class TestRunScenario:
     def test_row_shape(self):
@@ -73,7 +102,7 @@ class TestRunScenario:
 
     def test_sweep_fails_fast_on_unknown_scenario(self):
         with pytest.raises(SweepError, match="unknown scenario"):
-            run_sweep(["definitely-not-registered"], sizes=(8,))
+            sweep(["definitely-not-registered"], sizes=(8,))
 
 
 class TestSweepDeterminism:
@@ -83,12 +112,12 @@ class TestSweepDeterminism:
         sizes = tuple(sorted(rng.sample(range(9, 30), k=2)))
         seeds = tuple(range(rng.randrange(1, 3)))
         scenarios = rng.sample(["bfs/grid", "bellman-ford/er", "dijkstra/er"], k=2)
-        sequential = run_sweep(scenarios, sizes=sizes, seeds=seeds, workers=1)
-        parallel = run_sweep(scenarios, sizes=sizes, seeds=seeds, workers=3)
+        sequential = sweep(scenarios, sizes=sizes, seeds=seeds, workers=1)
+        parallel = sweep(scenarios, sizes=sizes, seeds=seeds, workers=3)
         assert sequential == parallel
 
     def test_rows_follow_task_order(self):
-        rows = run_sweep(["bfs/grid"], sizes=(9, 16), seeds=(0, 1))
+        rows = sweep(["bfs/grid"], sizes=(9, 16), seeds=(0, 1))
         key = [(r["scenario"], r["n"], r["seed"]) for r in rows]
         assert key == [("bfs/grid", 9, 0), ("bfs/grid", 9, 1), ("bfs/grid", 16, 0), ("bfs/grid", 16, 1)]
 
@@ -117,17 +146,17 @@ class TestGraphCache:
     def test_rows_identical_with_cold_and_warm_cache(self):
         scenarios = ["bellman-ford/er", "dijkstra/er", "bfs/grid"]
         clear_graph_cache()
-        cold = run_sweep(scenarios, sizes=(10, 14), seeds=(0, 1))
-        warm = run_sweep(scenarios, sizes=(10, 14), seeds=(0, 1))
+        cold = sweep(scenarios, sizes=(10, 14), seeds=(0, 1))
+        warm = sweep(scenarios, sizes=(10, 14), seeds=(0, 1))
         clear_graph_cache()
-        fresh = run_sweep(scenarios, sizes=(10, 14), seeds=(0, 1))
+        fresh = sweep(scenarios, sizes=(10, 14), seeds=(0, 1))
         assert cold == warm == fresh
 
     def test_cache_determinism_across_worker_counts(self):
         scenarios = ["bellman-ford/er", "dijkstra/er"]
         clear_graph_cache()
-        sequential = run_sweep(scenarios, sizes=(9, 13), seeds=(0, 1), workers=1)
-        parallel = run_sweep(scenarios, sizes=(9, 13), seeds=(0, 1), workers=4)
+        sequential = sweep(scenarios, sizes=(9, 13), seeds=(0, 1), workers=1)
+        parallel = sweep(scenarios, sizes=(9, 13), seeds=(0, 1), workers=4)
         assert sequential == parallel
 
     def test_cache_is_bounded(self):
@@ -142,19 +171,29 @@ class TestGraphCache:
 
 class TestAnalysisWiring:
     def test_sweep_table_has_all_columns(self):
-        rows = run_sweep(["bfs/grid"], sizes=(9, 16))
+        rows = sweep(["bfs/grid"], sizes=(9, 16))
         table = sweep_table(rows)
         for field in ROW_FIELDS:
             assert field in table
 
+    def test_sweep_table_accepts_a_resultset(self, tmp_path):
+        from repro.api import ResultSet
+
+        spec = SweepSpec(scenarios=("bfs/grid",), sizes=(9, 16),
+                         output=str(tmp_path / "runs.jsonl"))
+        run_sweep_spec(spec)
+        store = ResultSet(spec.output)
+        assert sweep_table(store) == sweep_table(store.rows())
+        assert set(fit_sweep(store)) == {"bfs/grid"}
+
     def test_fit_sweep_groups_by_scenario(self):
-        rows = run_sweep(["bellman-ford/er"], sizes=(12, 20, 32))
+        rows = sweep(["bellman-ford/er"], sizes=(12, 20, 32))
         fits = fit_sweep(rows, y="rounds")
         assert set(fits) == {"bellman-ford/er"}
         assert 0.5 < fits["bellman-ford/er"].exponent < 1.5  # rounds ~ n
 
     def test_sweep_report_contains_table_and_fits(self):
-        rows = run_sweep(["bellman-ford/er"], sizes=(12, 20))
+        rows = sweep(["bellman-ford/er"], sizes=(12, 20))
         report = sweep_report(rows, title="unit sweep")
         assert "## unit sweep" in report
         assert "bellman-ford/er" in report
@@ -186,9 +225,9 @@ class TestSweepCLI:
         out = capsys.readouterr().out
         assert "sssp/er" in out
 
-    def test_output_file(self, tmp_path, capsys):
+    def test_report_file(self, tmp_path, capsys):
         target = tmp_path / "sweep.md"
-        assert main(["sweep", "--smoke", "--output", str(target)]) == 0
+        assert main(["sweep", "--smoke", "--report", str(target)]) == 0
         text = target.read_text()
         assert "## smoke sweep" in text
         assert "sssp/er" in text

@@ -1,0 +1,199 @@
+"""ResultSet persistence and the resumable sweep executor."""
+
+import json
+
+import pytest
+
+from repro.api import ResultSet, SweepSpec, cell_key, run_sweep_spec
+from repro.sim import Metrics
+from repro.sim.experiments import ROW_FIELDS, run_sweep
+
+SCENARIOS = ("bfs/grid", "bellman-ford/er")
+SPEC = SweepSpec(scenarios=SCENARIOS, sizes=(9, 16), seeds=(0, 1))
+
+
+class TestResultSetStore:
+    def test_streams_one_json_line_per_append(self, tmp_path):
+        path = tmp_path / "runs.jsonl"
+        store = ResultSet.open(path)
+        store.append({"scenario": "s", "n": 8, "seed": 0, "rounds": 3})
+        store.append({"scenario": "s", "n": 8, "seed": 1, "rounds": 4})
+        # Flushed line-by-line: readable mid-run, before close().
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2
+        assert json.loads(lines[0])["rounds"] == 3
+        store.close()
+
+    def test_reload_restores_rows_and_completed_index(self, tmp_path):
+        path = tmp_path / "runs.jsonl"
+        with ResultSet.open(path) as store:
+            store.append({"scenario": "s", "n": 8, "seed": 0, "rounds": 3})
+        reloaded = ResultSet(path)
+        assert len(reloaded) == 1
+        assert reloaded.completed() == {("s", 8, 0)}
+        assert reloaded.get(("s", 8, 0))["rounds"] == 3
+
+    def test_duplicate_cells_keep_first_write(self, tmp_path):
+        store = ResultSet.open(tmp_path / "runs.jsonl")
+        store.append({"scenario": "s", "n": 8, "seed": 0, "rounds": 3})
+        store.append({"scenario": "s", "n": 8, "seed": 0, "rounds": 99})
+        store.close()
+        assert len(store) == 1
+        assert store.get(("s", 8, 0))["rounds"] == 3
+
+    def test_truncated_trailing_line_is_dropped(self, tmp_path):
+        path = tmp_path / "runs.jsonl"
+        good = json.dumps({"scenario": "s", "n": 8, "seed": 0, "rounds": 3})
+        path.write_text(good + "\n" + '{"scenario": "s", "n": 16, "se')
+        store = ResultSet(path)
+        assert store.completed() == {("s", 8, 0)}
+
+    def test_appending_after_a_torn_tail_keeps_the_file_loadable(self, tmp_path):
+        # The torn line must be truncated away on disk, or the next append
+        # would concatenate onto it and corrupt the store permanently.
+        path = tmp_path / "runs.jsonl"
+        good = json.dumps({"scenario": "s", "n": 8, "seed": 0, "rounds": 3})
+        path.write_text(good + "\n" + '{"scenario": "s", "n": 16, "se')
+        store = ResultSet(path)
+        store.append({"scenario": "s", "n": 16, "seed": 0, "rounds": 5})
+        store.close()
+        reloaded = ResultSet(path)
+        assert reloaded.completed() == {("s", 8, 0), ("s", 16, 0)}
+        assert reloaded.get(("s", 16, 0))["rounds"] == 5
+
+    def test_corrupt_interior_line_is_loud(self, tmp_path):
+        path = tmp_path / "runs.jsonl"
+        good = json.dumps({"scenario": "s", "n": 8, "seed": 0, "rounds": 3})
+        path.write_text("not json\n" + good + "\n")
+        with pytest.raises(ValueError, match="corrupt result line"):
+            ResultSet(path)
+
+    def test_memory_store_has_no_file(self):
+        store = ResultSet()
+        store.append({"scenario": "s", "n": 8, "seed": 0})
+        assert store.path is None
+        assert ("s", 8, 0) in store
+
+
+class TestSweepSpecExecution:
+    def test_rows_follow_cross_product_order(self):
+        rows = run_sweep_spec(SPEC)
+        key = [(r["scenario"], r["n"], r["seed"]) for r in rows]
+        assert key == [(name, n, seed) for name in SCENARIOS for n in (9, 16) for seed in (0, 1)]
+        assert all(tuple(row) == ROW_FIELDS for row in rows)
+
+    @pytest.mark.parametrize("workers", [1, 3])
+    def test_store_records_carry_serialized_metrics(self, tmp_path, workers):
+        path = tmp_path / "runs.jsonl"
+        spec = SweepSpec(scenarios=SCENARIOS, sizes=(9, 16), seeds=(0,),
+                         workers=workers, output=str(path))
+        rows = run_sweep_spec(spec)
+        records = [json.loads(line) for line in path.read_text().splitlines()]
+        assert {cell_key(r) for r in records} == {cell_key(r) for r in rows}
+        for record in records:
+            metrics = Metrics.from_dict(record["metrics"])
+            assert metrics.rounds == record["rounds"]
+            assert metrics.total_messages == record["messages"]
+            assert metrics.max_congestion == record["congestion"]
+            assert metrics.max_energy == record["energy"]
+
+
+class TestResume:
+    @pytest.mark.parametrize("workers", [1, 3])
+    def test_resume_equals_fresh_at_any_worker_count(self, tmp_path, workers):
+        fresh = run_sweep_spec(SPEC)
+        path = tmp_path / "runs.jsonl"
+        spec = SweepSpec(scenarios=SCENARIOS, sizes=(9, 16), seeds=(0, 1),
+                         workers=workers, output=str(path))
+        first = run_sweep_spec(spec)
+        # Simulate an interruption: drop all but the first three cells
+        # (plus a torn trailing write).
+        lines = path.read_text().splitlines()
+        path.write_text("\n".join(lines[:3]) + "\n" + lines[3][:17])
+        resumed = run_sweep_spec(spec)
+        assert resumed == first == fresh
+
+    def test_resume_skips_completed_cells(self, tmp_path):
+        path = tmp_path / "runs.jsonl"
+        spec = SweepSpec(scenarios=("bfs/grid",), sizes=(9, 16), seeds=(0, 1),
+                         output=str(path))
+        run_sweep_spec(spec)
+        executed = []
+        run_sweep_spec(spec, progress=lambda done, total, row: executed.append(row))
+        assert executed == []  # everything was reused from the store
+
+    def test_resume_runs_only_missing_cells(self, tmp_path):
+        path = tmp_path / "runs.jsonl"
+        spec = SweepSpec(scenarios=("bfs/grid",), sizes=(9, 16), seeds=(0, 1),
+                         output=str(path))
+        full = run_sweep_spec(spec)
+        lines = path.read_text().splitlines()
+        path.write_text("\n".join(lines[:2]) + "\n")
+        executed = []
+        resumed = run_sweep_spec(
+            spec, progress=lambda done, total, row: executed.append(cell_key(row))
+        )
+        assert resumed == full
+        kept = {cell_key(json.loads(line)) for line in lines[:2]}
+        assert set(executed) == {cell_key(r) for r in full} - kept
+
+    def test_widening_a_spec_reuses_the_narrow_run(self, tmp_path):
+        path = tmp_path / "runs.jsonl"
+        narrow = SweepSpec(scenarios=("bfs/grid",), sizes=(9,), seeds=(0,),
+                           output=str(path))
+        run_sweep_spec(narrow)
+        wide = SweepSpec(scenarios=("bfs/grid",), sizes=(9, 16), seeds=(0, 1),
+                         output=str(path))
+        executed = []
+        rows = run_sweep_spec(
+            wide, progress=lambda done, total, row: executed.append(cell_key(row))
+        )
+        assert len(rows) == 4
+        assert ("bfs/grid", 9, 0) not in executed
+        assert len(executed) == 3
+
+
+class TestProgressCallback:
+    def test_counts_cover_reused_and_fresh_cells(self, tmp_path):
+        path = tmp_path / "runs.jsonl"
+        spec = SweepSpec(scenarios=("bfs/grid",), sizes=(9, 16), seeds=(0, 1),
+                         output=str(path))
+        seen = []
+        run_sweep_spec(spec, progress=lambda done, total, row: seen.append((done, total)))
+        assert seen == [(1, 4), (2, 4), (3, 4), (4, 4)]
+        # Drop half the store: resume reports progress starting past the
+        # reused cells.
+        lines = path.read_text().splitlines()
+        path.write_text("\n".join(lines[:2]) + "\n")
+        seen.clear()
+        run_sweep_spec(spec, progress=lambda done, total, row: seen.append((done, total)))
+        assert seen == [(3, 4), (4, 4)]
+
+
+class TestLegacyShim:
+    def test_run_sweep_is_deprecated_but_identical(self):
+        spec_rows = run_sweep_spec(SPEC)
+        with pytest.deprecated_call():
+            legacy = run_sweep(list(SCENARIOS), sizes=(9, 16), seeds=(0, 1))
+        assert legacy == spec_rows
+
+    def test_shim_preserves_empty_cross_product_contract(self):
+        # The pre-spec run_sweep returned [] for an empty cross product;
+        # the shim must not surface SweepSpec's stricter validation.
+        with pytest.deprecated_call():
+            assert run_sweep([], sizes=(8,)) == []
+        with pytest.deprecated_call():
+            assert run_sweep(["bfs/grid"], sizes=()) == []
+        with pytest.deprecated_call():
+            assert run_sweep(["bfs/grid"], sizes=(8,), seeds=()) == []
+        with pytest.deprecated_call():
+            assert run_sweep(iter(["bfs/grid"]), sizes=(9,)) != []  # generators work
+
+    @pytest.mark.parametrize("workers", [None, 3])
+    def test_shim_worker_counts_match_spec_path(self, workers):
+        with pytest.deprecated_call():
+            legacy = run_sweep(list(SCENARIOS), sizes=(9, 16), seeds=(0, 1),
+                               workers=workers)
+        spec = SweepSpec(scenarios=SCENARIOS, sizes=(9, 16), seeds=(0, 1),
+                         workers=workers or 1)
+        assert legacy == run_sweep_spec(spec)
