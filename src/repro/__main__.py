@@ -77,6 +77,30 @@ def _load_spec_file(path: str, expected_cls, parser: argparse.ArgumentParser):
 # ----------------------------------------------------------------------
 # subcommands
 # ----------------------------------------------------------------------
+def _scenario_catalog() -> list[dict]:
+    """The registered scenario catalog, one JSON-ready dict per scenario."""
+    from repro.api import get_algorithm_spec
+    from repro.sim.experiments import ensure_discovered, get_scenario, list_scenarios
+
+    ensure_discovered()
+    catalog = []
+    for name in list_scenarios():
+        scenario = get_scenario(name)
+        spec = get_algorithm_spec(scenario.algorithm)
+        catalog.append({
+            "name": name,
+            "family": scenario.family,
+            "algorithm": scenario.algorithm,
+            "model": spec.model,
+            "oracle": spec.oracle,
+            "max_weight": scenario.max_weight,
+            "params": dict(scenario.params),
+            "param_schema": [list(pair) for pair in spec.param_schema],
+            "description": scenario.description or spec.description,
+        })
+    return catalog
+
+
 def _cmd_info(args) -> int:
     import repro
 
@@ -95,13 +119,30 @@ def _cmd_info(args) -> int:
         ("repro.energy.low_energy_bfs", "sleeping-model BFS (Thm 3.8)"),
         ("repro.energy.bootstrap", "from-scratch BFS + energy CSSP (Thms 3.13-3.15)"),
     ]
+    from repro.api import list_algorithm_specs
+
+    scenarios = _scenario_catalog()
     if args.json:
-        print(json.dumps({"version": repro.__version__, "systems": dict(systems)}, indent=2))
+        print(json.dumps({
+            "version": repro.__version__,
+            "systems": dict(systems),
+            "algorithms": [spec.to_dict() for spec in list_algorithm_specs()],
+            "scenarios": scenarios,
+        }, indent=2))
         return 0
     print(f"repro {repro.__version__} — reproduction of Ghaffari & Trygub, PODC 2024")
     print("\nImplemented systems:")
     for module, description in systems:
         print(f"  {module:32s} {description}")
+    print(f"\nRegistered sweep scenarios ({len(scenarios)}):")
+    for entry in scenarios:
+        params = "".join(
+            f" {name}:{type_name}" for name, type_name in entry["param_schema"]
+        )
+        print(
+            f"  {entry['name']:26s} {entry['model']:9s} "
+            f"oracle={entry['oracle'] or '-'}{params}"
+        )
     return 0
 
 
@@ -128,12 +169,15 @@ def _cmd_demo(args) -> int:
 def _cmd_sweep(args, parser) -> int:
     from repro.analysis.sweeps import fit_sweep, sweep_report, sweep_table
     from repro.api import SpecError, SweepSpec, run_sweep_spec, smoke_spec
-    from repro.sim.experiments import SweepError, ensure_discovered, list_scenarios
+    from repro.sim.experiments import SweepError, ensure_discovered
 
     if args.list:
         ensure_discovered()
-        for name in list_scenarios():
-            print(name)
+        if args.json:
+            print(json.dumps(_scenario_catalog(), indent=2))
+            return 0
+        for entry in _scenario_catalog():
+            print(f"{entry['name']:26s} {entry['model']:9s} {entry['description']}")
         return 0
 
     if args.smoke:

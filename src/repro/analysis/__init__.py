@@ -1,7 +1,7 @@
 """Analysis toolkit: scaling-law fits and experiment table rendering."""
 
 from .fits import PowerFit, compare_models, fit_polylog, fit_power_law, linear_regression
-from .sweeps import fit_sweep, sweep_report, sweep_table
+from .sweeps import fit_sweep, sweep_columns, sweep_report, sweep_table
 from .tables import render_table
 
 __all__ = [
@@ -12,6 +12,7 @@ __all__ = [
     "fit_sweep",
     "linear_regression",
     "render_table",
+    "sweep_columns",
     "sweep_report",
     "sweep_table",
 ]

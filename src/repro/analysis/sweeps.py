@@ -18,7 +18,7 @@ from collections import defaultdict
 from .fits import PowerFit, fit_power_law
 from .tables import render_table
 
-__all__ = ["sweep_table", "fit_sweep", "sweep_report"]
+__all__ = ["sweep_columns", "sweep_table", "fit_sweep", "sweep_report"]
 
 
 def _as_rows(rows) -> list[dict]:
@@ -26,12 +26,33 @@ def _as_rows(rows) -> list[dict]:
     return rows.rows() if hasattr(rows, "rows") else list(rows)
 
 
-def sweep_table(rows, title: str = "experiment sweep") -> str:
-    """Render sweep rows as an aligned table in :data:`ROW_FIELDS` order."""
+def sweep_columns(rows) -> list[str]:
+    """Table column order: :data:`ROW_FIELDS`, then extra quality columns.
+
+    Scenario-specific columns (``mst_weight``, ``cover_degree``,
+    ``preprocess_rounds``, ...) appear sorted after the core fields; rows
+    that lack a column render it blank.  Provenance that is not a
+    measurement is never tabulated: ``metrics`` payloads (full serialized
+    :class:`~repro.sim.Metrics` from a persistent store) and the
+    ``params_digest`` resume-key component stay in the rows but out of the
+    display columns.
+    """
     from ..sim.experiments import ROW_FIELDS
 
-    body = [[row[field] for field in ROW_FIELDS] for row in _as_rows(rows)]
-    return render_table(title, list(ROW_FIELDS), body)
+    extras = set()
+    for row in _as_rows(rows):
+        extras.update(row)
+    extras -= set(ROW_FIELDS) | {"metrics"}
+    columns = [field for field in ROW_FIELDS if field != "params_digest"]
+    return columns + sorted(extras)
+
+
+def sweep_table(rows, title: str = "experiment sweep") -> str:
+    """Render sweep rows as an aligned table (core columns, then extras)."""
+    rows = _as_rows(rows)
+    columns = sweep_columns(rows)
+    body = [[row.get(field, "") for field in columns] for row in rows]
+    return render_table(title, columns, body)
 
 
 def fit_sweep(rows, y: str = "rounds") -> dict[str, PowerFit]:
@@ -39,11 +60,21 @@ def fit_sweep(rows, y: str = "rounds") -> dict[str, PowerFit]:
 
     Rows are grouped by scenario; multiple seeds at one size are averaged
     before fitting.  Scenarios with fewer than two distinct sizes are
-    skipped (a fit needs a sweep).
+    skipped (a fit needs a sweep), as are rows lacking column ``y`` — so a
+    scenario-specific quality column (``cover_degree``, ``energy_avg``,
+    ...) fits over exactly the scenarios that report it.  A ``y`` no row
+    carries at all raises ``KeyError`` (a typo'd column name must be loud,
+    not an empty fits dict).
     """
+    rows = _as_rows(rows)
+    if rows and all(y not in row for row in rows):
+        raise KeyError(
+            f"column {y!r} appears in no sweep row (columns: {sweep_columns(rows)})"
+        )
     grouped: dict[str, dict[int, list[float]]] = defaultdict(lambda: defaultdict(list))
-    for row in _as_rows(rows):
-        grouped[row["scenario"]][row["n"]].append(float(row[y]))
+    for row in rows:
+        if y in row:
+            grouped[row["scenario"]][row["n"]].append(float(row[y]))
     fits: dict[str, PowerFit] = {}
     for scenario, by_n in grouped.items():
         if len(by_n) < 2:

@@ -31,12 +31,28 @@ from dataclasses import dataclass, field
 
 __all__ = [
     "AlgorithmSpec",
+    "PARAM_TYPES",
+    "check_params",
     "register_algorithm_spec",
     "get_algorithm_spec",
     "list_algorithm_specs",
     "resolve_entry_point",
     "discover",
 ]
+
+#: Type names a ``param_schema`` may declare, with their Python types.
+#: ``bool`` precedes the ``int`` check (``bool`` is an ``int`` subclass).
+PARAM_TYPES: dict[str, type] = {"bool": bool, "int": int, "float": float, "str": str}
+
+
+def _accepts_var_keyword(signature) -> bool:
+    """Whether a driver signature takes ``**kwargs`` (accepts any param)."""
+    import inspect
+
+    return any(
+        p.kind is inspect.Parameter.VAR_KEYWORD
+        for p in signature.parameters.values()
+    )
 
 #: Entry-point group scanned by :func:`discover`.
 PLUGIN_GROUP = "repro.scenarios"
@@ -91,6 +107,57 @@ class AlgorithmSpec:
             _RESOLVED[self.name] = resolved
         return resolved
 
+    def check_schema_shape(self) -> "AlgorithmSpec":
+        """Validate the declared schema itself, without resolving the driver.
+
+        Import-light (no entry-point resolution), so
+        :func:`register_algorithm_spec` can run it on every registration:
+        a mistyped schema fails loudly at registration, never as a raw
+        ``KeyError`` deep inside a sweep.
+        """
+        if self.model not in ("congest", "sleeping"):
+            raise ValueError(
+                f"algorithm {self.name!r}: model must be 'congest' or "
+                f"'sleeping', got {self.model!r}"
+            )
+        for pair in self.param_schema:
+            if len(tuple(pair)) != 2:
+                raise ValueError(
+                    f"algorithm {self.name!r}: param_schema entries must be "
+                    f"(name, type) pairs, got {pair!r}"
+                )
+            param, type_name = pair
+            if type_name not in PARAM_TYPES:
+                raise ValueError(
+                    f"algorithm {self.name!r}: param {param!r} has unknown "
+                    f"type {type_name!r} (options: {sorted(PARAM_TYPES)})"
+                )
+        return self
+
+    def validate(self) -> "AlgorithmSpec":
+        """Check the spec is internally consistent; return ``self``.
+
+        Everything :meth:`check_schema_shape` checks, plus that the
+        resolved driver actually accepts each declared parameter as a
+        keyword argument (so a schema can never drift from its driver).
+        Resolving imports the driver's module, so this runs on demand (and
+        in the registry test suite), not at registration.
+        """
+        import inspect
+
+        self.check_schema_shape()
+        driver = self.resolve()
+        signature = inspect.signature(driver)
+        if not _accepts_var_keyword(signature):
+            for param, _type_name in self.param_schema:
+                if param not in signature.parameters:
+                    raise ValueError(
+                        f"algorithm {self.name!r}: param_schema declares "
+                        f"{param!r} but driver {driver.__name__} does not "
+                        f"accept it"
+                    )
+        return self
+
     def to_dict(self) -> dict:
         return {
             "name": self.name,
@@ -108,16 +175,75 @@ class AlgorithmSpec:
         return cls(**data)
 
 
+def check_params(spec: AlgorithmSpec, params: dict) -> None:
+    """Validate scenario ``params`` against ``spec.param_schema``.
+
+    Every parameter must be declared in the schema and carry a value of
+    the declared type.  When the spec declares *no* schema (bare drivers
+    registered via the legacy path), the driver is resolved and its
+    signature checked instead, so an unknown keyword still fails here —
+    at registration, with a pinpointed ``ValueError`` — rather than as a
+    ``TypeError`` inside a forked sweep worker.
+    """
+    if not params:
+        return
+    schema = dict(spec.param_schema)
+    if not schema:
+        import inspect
+
+        signature = inspect.signature(spec.resolve())
+        if not _accepts_var_keyword(signature):
+            for name in params:
+                if name not in signature.parameters:
+                    raise ValueError(
+                        f"algorithm {spec.name!r}: driver does not accept "
+                        f"param {name!r} (and the spec declares no schema)"
+                    )
+        return
+    for name, value in params.items():
+        if name not in schema:
+            raise ValueError(
+                f"algorithm {spec.name!r}: unknown param {name!r} "
+                f"(declared: {sorted(schema)})"
+            )
+        expected = PARAM_TYPES.get(schema[name])
+        if expected is None:
+            # Registration validates schema shape, but stay defensive
+            # for specs constructed outside register_algorithm_spec.
+            raise ValueError(
+                f"algorithm {spec.name!r}: param {name!r} declares "
+                f"unknown type {schema[name]!r} (options: {sorted(PARAM_TYPES)})"
+            )
+        if expected is not bool and isinstance(value, bool):
+            raise ValueError(
+                f"algorithm {spec.name!r}: param {name!r} must be "
+                f"{schema[name]}, got {value!r}"
+            )
+        if not isinstance(value, expected) and not (
+            expected is float and isinstance(value, int)
+        ):
+            raise ValueError(
+                f"algorithm {spec.name!r}: param {name!r} must be "
+                f"{schema[name]}, got {value!r}"
+            )
+
+
 _SPECS: dict[str, AlgorithmSpec] = {}
 _RESOLVED: dict[str, Callable] = {}
 
 
 def register_algorithm_spec(spec: AlgorithmSpec) -> AlgorithmSpec:
-    """Register ``spec`` (replacing any same-named entry) and return it."""
+    """Register ``spec`` (replacing any same-named entry) and return it.
+
+    Validates the schema *shape* (model tag, param names/types) without
+    resolving the entry point — registration stays import-light, but a
+    drifted schema fails here instead of deep inside a sweep worker.
+    """
     if not spec.name:
         raise ValueError("algorithm spec needs a non-empty name")
     if spec.driver is None and not spec.entry_point:
         raise ValueError(f"algorithm spec {spec.name!r} needs an entry_point or driver")
+    spec.check_schema_shape()
     _SPECS[spec.name] = spec
     _RESOLVED.pop(spec.name, None)
     return spec

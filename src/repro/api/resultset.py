@@ -2,7 +2,7 @@
 
 A :class:`ResultSet` is an append-only JSONL file (or a purely in-memory
 buffer when ``path=None``): one JSON object per line, one line per completed
-``(scenario, size, seed)`` cell.  Each record carries the tidy row fields
+``(scenario, size, seed, params_digest)`` cell.  Each record carries the tidy row fields
 (:data:`repro.sim.experiments.ROW_FIELDS`) plus a ``"metrics"`` sub-object —
 the full serialized :class:`~repro.sim.Metrics` of the run — so downstream
 analysis never has to re-execute a cell to recover its cost profile.
@@ -24,8 +24,17 @@ __all__ = ["ResultSet", "cell_key"]
 
 
 def cell_key(row: dict) -> tuple:
-    """The resume key of a record: ``(scenario, n, seed)``."""
-    return (row["scenario"], row["n"], row["seed"])
+    """The resume key of a record: ``(scenario, n, seed, params_digest)``.
+
+    ``params_digest`` (:func:`repro.sim.experiments.scenario_digest`) pins
+    the scenario *definition* — family, algorithm, ``max_weight``, params —
+    the cell was computed under.  Without it, resuming a store after a
+    scenario's params changed would silently reuse rows computed under the
+    old definition; with it, stale cells simply miss the lookup and re-run.
+    Records from pre-digest stores key with ``""`` — never matching a
+    current definition, so they are re-run rather than trusted.
+    """
+    return (row["scenario"], row["n"], row["seed"], row.get("params_digest", ""))
 
 
 class ResultSet:
@@ -42,6 +51,9 @@ class ResultSet:
         self.path = Path(path) if path is not None else None
         self._rows: list[dict] = []
         self._by_key: dict[tuple, dict] = {}
+        # (scenario, n, seed) -> index into _rows, for superseding stale
+        # rows recorded under an older scenario definition (digest).
+        self._by_coords: dict[tuple, int] = {}
         self._handle = None
         if self.path is not None and self.path.exists():
             self._load()
@@ -84,7 +96,20 @@ class ResultSet:
         key = cell_key(record)
         if key in self._by_key:
             return  # first write wins: resumed runs may not duplicate cells
-        self._rows.append(record)
+        coords = key[:3]  # (scenario, n, seed), digest-independent
+        index = self._by_coords.get(coords)
+        if index is not None:
+            # Same cell coordinates under a *different* scenario definition:
+            # the newer record supersedes the stale one in place (keeping
+            # the cell's original position — O(1) per supersede), so rows()
+            # never mixes old-params and new-params results for one cell.
+            # The stale JSONL line stays on disk; reloading replays the
+            # appends in order and converges on the same survivor.
+            del self._by_key[cell_key(self._rows[index])]
+            self._rows[index] = record
+        else:
+            self._by_coords[coords] = len(self._rows)
+            self._rows.append(record)
         self._by_key[key] = record
 
     # ------------------------------------------------------------------
@@ -118,7 +143,12 @@ class ResultSet:
     # reading
     # ------------------------------------------------------------------
     def rows(self) -> list[dict]:
-        """All records in append order (full records, ``metrics`` included)."""
+        """All current records, one per ``(scenario, n, seed)`` cell.
+
+        Cells appear in first-append order; a cell re-run under a changed
+        scenario definition supersedes its stale predecessor in place, so
+        tables and fits built from a store never double-count a cell.
+        """
         return list(self._rows)
 
     def get(self, key: tuple) -> dict | None:

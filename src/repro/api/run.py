@@ -8,9 +8,11 @@ it.  It owns the orchestration policy:
 * **fail fast** — the spec is validated and every scenario name resolved
   *before* any worker forks;
 * **resume** — when the target :class:`~repro.api.ResultSet` already holds
-  rows, completed ``(scenario, size, seed)`` cells are reused verbatim and
-  only the missing cells run; the returned table is identical to an
-  uninterrupted run (rows follow cross-product order either way);
+  rows, completed ``(scenario, size, seed, params_digest)`` cells are
+  reused verbatim and only the missing cells run; the returned table is
+  identical to an uninterrupted run (rows follow cross-product order
+  either way), and cells stored under a *different* definition of the same
+  scenario name (changed params/family/weights) are re-run, not reused;
 * **locality** — missing cells are grouped by graph-instance key so one
   worker builds each graph once and serves every scenario over it from the
   per-process cache (see :mod:`repro.sim.experiments`);
@@ -42,15 +44,22 @@ __all__ = [
     "BenchOutcome",
 ]
 
-#: Scenario selection of the fixed tiny CI sweep (``repro sweep --smoke``).
-SMOKE_SCENARIOS = ("sssp/er", "bellman-ford/er", "bfs/grid", "energy-bfs/path")
+#: Sizes of the fixed tiny CI sweep (``repro sweep --smoke``), which runs
+#: **every registered scenario** (``scenarios=None``) through its
+#: oracle/validator at these sizes — one seed, small n, full catalog.
+SMOKE_SIZES = (12, 18)
 
 
 def smoke_spec(workers: int | None = None, output: str | None = None) -> SweepSpec:
-    """The fixed tiny sweep spec behind ``repro sweep --smoke`` (CI entry)."""
+    """The fixed tiny sweep spec behind ``repro sweep --smoke`` (CI entry).
+
+    ``scenarios=None`` resolves to the full registry at run time, so a
+    newly registered scenario is smoke-covered (driver + oracle) with no
+    CI edit; any :class:`DriverError`/validator failure fails the sweep.
+    """
     return SweepSpec(
-        scenarios=SMOKE_SCENARIOS,
-        sizes=(12, 20),
+        scenarios=None,
+        sizes=SMOKE_SIZES,
         seeds=(0,),
         workers=workers or 1,
         output=output,
@@ -58,8 +67,18 @@ def smoke_spec(workers: int | None = None, output: str | None = None) -> SweepSp
 
 
 def _tidy(record: dict, row_fields: tuple) -> dict:
-    """Project a stored record onto the tidy row columns, in order."""
-    return {name: record[name] for name in row_fields}
+    """Project a stored record onto the tidy row columns, in order.
+
+    Core columns come first in :data:`~repro.sim.experiments.ROW_FIELDS`
+    order, then any scenario-specific quality columns in sorted key order —
+    the same layout :func:`repro.sim.experiments.run_scenario` emits, so
+    store-reloaded rows equal freshly computed ones exactly.
+    """
+    row = {name: record[name] for name in row_fields}
+    for key in sorted(record):
+        if key not in row and key != "metrics":
+            row[key] = record[key]
+    return row
 
 
 def run_sweep_spec(
@@ -98,8 +117,15 @@ def run_sweep_spec(
     total = len(tasks)
     rows: list[dict | None] = [None] * total
     pending: list[tuple[int, str, int, int]] = []
+    # Resume keys carry the scenario-definition digest: a store written
+    # under different params for the same scenario name misses the lookup,
+    # so its stale cells re-run instead of silently polluting the table.
+    digests = {
+        name: experiments.scenario_digest(experiments.get_scenario(name))
+        for name in names
+    }
     for index, (name, n, seed) in enumerate(tasks):
-        record = store.get((name, n, seed))
+        record = store.get((name, n, seed, digests[name]))
         if record is not None:
             rows[index] = _tidy(record, experiments.ROW_FIELDS)
         else:

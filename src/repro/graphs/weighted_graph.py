@@ -288,6 +288,32 @@ class Graph:
                     queue.append(v)
         return dist
 
+    def mst_weight(self) -> int:
+        """Total weight of a minimum spanning forest (sequential Kruskal).
+
+        A sequential oracle like :meth:`dijkstra`: ground truth for the
+        distributed Boruvka forest (Thm 2.2).  Disconnected graphs get a
+        minimum spanning *forest* — one tree per component.
+        """
+        parent: dict[object, object] = {u: u for u in self._adj}
+
+        def find(u: object) -> object:
+            root = u
+            while parent[root] != root:
+                root = parent[root]
+            while parent[u] != root:  # path compression
+                parent[u], u = root, parent[u]
+            return root
+
+        total = 0
+        # Deterministic tie-break: sort by (weight, endpoint reprs).
+        for u, v, w in sorted(self.edges(), key=lambda e: (e[2], repr(e[0]), repr(e[1]))):
+            ru, rv = find(u), find(v)
+            if ru != rv:
+                parent[ru] = rv
+                total += w
+        return total
+
     def hop_diameter(self) -> int:
         """Exact hop diameter of the (connected) graph.
 

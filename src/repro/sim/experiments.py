@@ -52,12 +52,15 @@ read-only (the library-wide append-only convention);
 
 from __future__ import annotations
 
+import hashlib
+import json
 import warnings
 from collections.abc import Callable, Iterable, Sequence
 from dataclasses import dataclass
 
 from ..api.algorithms import (
     AlgorithmSpec,
+    check_params,
     discover,
     get_algorithm_spec,
     list_algorithm_specs,
@@ -77,12 +80,16 @@ __all__ = [
     "list_algorithms",
     "run_scenario",
     "run_sweep",
+    "scenario_digest",
     "smoke_sweep",
     "clear_graph_cache",
     "ROW_FIELDS",
 ]
 
 #: Column order of a tidy sweep row (all deterministic — no wall-clock).
+#: ``params_digest`` pins the scenario *definition* the cell ran under (see
+#: :func:`scenario_digest`); drivers may append scenario-specific quality
+#: columns after these (sorted by name — see :func:`run_scenario`).
 ROW_FIELDS = (
     "scenario",
     "family",
@@ -90,6 +97,7 @@ ROW_FIELDS = (
     "n",
     "m",
     "seed",
+    "params_digest",
     "rounds",
     "messages",
     "lost_messages",
@@ -142,21 +150,55 @@ def register_algorithm(name: str, driver: Callable) -> None:
 
 
 def register_scenario(scenario: Scenario) -> Scenario:
-    """Add ``scenario`` to the registry (replacing any same-named entry)."""
+    """Add ``scenario`` to the registry (replacing any same-named entry).
+
+    Rejects unknown families and algorithms, and validates the scenario's
+    ``params`` against the algorithm's declared ``param_schema`` — a
+    drifted parameter name or type fails here, at registration, not inside
+    a forked sweep worker.
+    """
     if scenario.family not in generators.FAMILIES:
         raise SweepError(
             f"scenario {scenario.name!r}: unknown family {scenario.family!r} "
             f"(options: {sorted(generators.FAMILIES)})"
         )
     try:
-        get_algorithm_spec(scenario.algorithm)
+        spec = get_algorithm_spec(scenario.algorithm)
     except KeyError:
         raise SweepError(
             f"scenario {scenario.name!r}: unknown algorithm {scenario.algorithm!r} "
             f"(options: {[spec.name for spec in list_algorithm_specs()]})"
         ) from None
+    try:
+        check_params(spec, dict(scenario.params))
+    except ValueError as exc:
+        raise SweepError(f"scenario {scenario.name!r}: {exc}") from None
     _SCENARIOS[scenario.name] = scenario
     return scenario
+
+
+def scenario_digest(scenario: Scenario) -> str:
+    """Short canonical digest of everything that determines a cell's result.
+
+    Hashes the scenario *definition* — family, algorithm, ``max_weight``
+    and the full ``params`` mapping — as canonical JSON.  The digest rides
+    in every tidy row (``params_digest``) and in the resume key
+    (:func:`repro.api.cell_key`), so a store written under one definition
+    of a scenario name can never silently satisfy a resume under another:
+    changed params produce a different key and the stale cells re-run.
+    """
+    payload = json.dumps(
+        {
+            "family": scenario.family,
+            "algorithm": scenario.algorithm,
+            "max_weight": scenario.max_weight,
+            # dict() accepts both the canonical pair-tuple and a plain
+            # mapping, like every other consumer of scenario.params.
+            "params": {str(k): v for k, v in dict(scenario.params).items()},
+        },
+        sort_keys=True,
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:12]
 
 
 def ensure_discovered() -> None:
@@ -201,8 +243,26 @@ for _scenario in (
              description="distributed Dijkstra baseline on weighted random graphs"),
     Scenario("bfs/grid", "grid", "bfs",
              description="unweighted CONGEST BFS on grids"),
+    Scenario("boruvka/er", "er", "boruvka",
+             description="Boruvka spanning forest on unit-weight random graphs"),
+    Scenario("apsp/er", "er", "apsp", max_weight=9,
+             description="random-delay concurrent APSP on weighted random graphs"),
+    Scenario("labeled-bfs/grid", "grid", "labeled-bfs", max_weight=9,
+             description="nearest-labeled-source BFS on weighted grids"),
+    Scenario("decomposition/er", "er", "decomposition",
+             description="k-separated decomposition on unit-weight random graphs"),
+    Scenario("sparse-cover/grid", "grid", "sparse-cover",
+             description="sparse d-cover on unit-weight grids"),
+    Scenario("layered-cover/tree", "tree", "layered-cover",
+             description="layered sparse cover stack on random trees"),
+    Scenario("tree-aggregation/tree", "tree", "tree-aggregation",
+             description="periodic sleeping-model tree aggregation on random trees"),
     Scenario("energy-bfs/path", "path", "energy-bfs",
              description="sleeping-model BFS on paths (energy metric)"),
+    Scenario("energy-bfs-scratch/tree", "tree", "energy-bfs-scratch",
+             description="from-scratch low-energy BFS bootstrap on random trees"),
+    Scenario("energy-cssp/er", "er", "energy-cssp", max_weight=4,
+             description="energy-model weighted CSSP on weighted random graphs"),
 ):
     register_scenario(_scenario)
 
@@ -238,13 +298,19 @@ def _cached_graph(scenario: Scenario, n: int, seed: int):
 
 
 def _run_cell(name: str, n: int, seed: int) -> tuple[dict, Metrics]:
-    """Execute one cell; return its tidy row and the full metrics object."""
+    """Execute one cell; return its tidy row and the full metrics object.
+
+    A driver may return a dict of scenario-specific quality columns (MST
+    weight, cover degree/radius, ``preprocess_*`` costs, ...); they are
+    appended to the row after the core :data:`ROW_FIELDS`, in sorted key
+    order so fresh and store-reloaded rows agree byte-for-byte.
+    """
     scenario = get_scenario(name)
     graph = _cached_graph(scenario, n, seed)
     metrics = Metrics()
     driver = get_algorithm_spec(scenario.algorithm).resolve()
     try:
-        driver(graph, seed, metrics, **dict(scenario.params))
+        extras = driver(graph, seed, metrics, **dict(scenario.params))
     except DriverError as exc:
         raise SweepError(str(exc)) from exc
     summary = metrics.summary()
@@ -255,12 +321,26 @@ def _run_cell(name: str, n: int, seed: int) -> tuple[dict, Metrics]:
         "n": graph.num_nodes,
         "m": graph.num_edges,
         "seed": seed,
+        "params_digest": scenario_digest(scenario),
         "rounds": summary["rounds"],
         "messages": summary["messages"],
         "lost_messages": summary["lost_messages"],
         "congestion": summary["congestion"],
         "energy": summary["energy"],
     }
+    if extras:
+        if not isinstance(extras, dict):
+            raise SweepError(
+                f"driver for {scenario.algorithm!r} returned {type(extras).__name__}; "
+                "drivers return None or a dict of quality columns"
+            )
+        for key in sorted(extras):
+            if key in row or key == "metrics":
+                raise SweepError(
+                    f"driver for {scenario.algorithm!r}: quality column {key!r} "
+                    "collides with a core row field"
+                )
+            row[key] = extras[key]
     return row, metrics
 
 

@@ -27,11 +27,12 @@ class TestResultSetStore:
     def test_reload_restores_rows_and_completed_index(self, tmp_path):
         path = tmp_path / "runs.jsonl"
         with ResultSet.open(path) as store:
-            store.append({"scenario": "s", "n": 8, "seed": 0, "rounds": 3})
+            store.append({"scenario": "s", "n": 8, "seed": 0,
+                          "params_digest": "d0", "rounds": 3})
         reloaded = ResultSet(path)
         assert len(reloaded) == 1
-        assert reloaded.completed() == {("s", 8, 0)}
-        assert reloaded.get(("s", 8, 0))["rounds"] == 3
+        assert reloaded.completed() == {("s", 8, 0, "d0")}
+        assert reloaded.get(("s", 8, 0, "d0"))["rounds"] == 3
 
     def test_duplicate_cells_keep_first_write(self, tmp_path):
         store = ResultSet.open(tmp_path / "runs.jsonl")
@@ -39,14 +40,14 @@ class TestResultSetStore:
         store.append({"scenario": "s", "n": 8, "seed": 0, "rounds": 99})
         store.close()
         assert len(store) == 1
-        assert store.get(("s", 8, 0))["rounds"] == 3
+        assert store.get(("s", 8, 0, ""))["rounds"] == 3
 
     def test_truncated_trailing_line_is_dropped(self, tmp_path):
         path = tmp_path / "runs.jsonl"
         good = json.dumps({"scenario": "s", "n": 8, "seed": 0, "rounds": 3})
         path.write_text(good + "\n" + '{"scenario": "s", "n": 16, "se')
         store = ResultSet(path)
-        assert store.completed() == {("s", 8, 0)}
+        assert store.completed() == {("s", 8, 0, "")}
 
     def test_appending_after_a_torn_tail_keeps_the_file_loadable(self, tmp_path):
         # The torn line must be truncated away on disk, or the next append
@@ -58,8 +59,8 @@ class TestResultSetStore:
         store.append({"scenario": "s", "n": 16, "seed": 0, "rounds": 5})
         store.close()
         reloaded = ResultSet(path)
-        assert reloaded.completed() == {("s", 8, 0), ("s", 16, 0)}
-        assert reloaded.get(("s", 16, 0))["rounds"] == 5
+        assert reloaded.completed() == {("s", 8, 0, ""), ("s", 16, 0, "")}
+        assert reloaded.get(("s", 16, 0, ""))["rounds"] == 5
 
     def test_corrupt_interior_line_is_loud(self, tmp_path):
         path = tmp_path / "runs.jsonl"
@@ -72,7 +73,7 @@ class TestResultSetStore:
         store = ResultSet()
         store.append({"scenario": "s", "n": 8, "seed": 0})
         assert store.path is None
-        assert ("s", 8, 0) in store
+        assert ("s", 8, 0, "") in store
 
 
 class TestSweepSpecExecution:
