@@ -20,10 +20,16 @@ Commands
     ResultSet (re-running skips finished cells), ``--smoke`` is the fixed
     tiny CI sweep, ``--fit`` appends scaling fits, ``--report out.md``
     writes the Markdown report, ``--list`` prints registered scenarios.
+    ``--shard i/k`` runs one deterministic shard of the job into its own
+    store and ``--merge`` recombines the shard stores (then resumes any
+    gaps); ``--max-retries``/``--task-timeout`` tune the supervised
+    executor's fault policy.  Cells that kept crashing come back as
+    ``failed`` rows and make the command exit 1.
 ``bench``
     Time the pinned benchmark subset and record ``BENCH.json``;
     ``--quick`` is the CI perf gate (non-zero exit beyond ``--factor`` x
-    the recorded baseline).
+    the recorded baseline — or when no baseline is recorded at all: a
+    missing ``BENCH.json`` is a *skipped* gate, never a passed one).
 ``report``
     Compile recorded experiment tables into one Markdown document.
 
@@ -58,6 +64,22 @@ def _int_csv(text: str) -> tuple[int, ...]:
         raise argparse.ArgumentTypeError(
             f"expected comma-separated integers, got {text!r}"
         ) from None
+
+
+def _shard(text: str) -> tuple[int, int]:
+    """Parse ``--shard i/k`` (1-based) into ``(shard_index, shard_count)``."""
+    try:
+        index_text, count_text = text.split("/")
+        index, count = int(index_text), int(count_text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected i/k (e.g. 1/2), got {text!r}"
+        ) from None
+    if count < 1 or not 1 <= index <= count:
+        raise argparse.ArgumentTypeError(
+            f"shard index must be in 1..count, got {text!r}"
+        )
+    return index, count
 
 
 def _load_spec_file(path: str, expected_cls, parser: argparse.ArgumentParser):
@@ -168,7 +190,14 @@ def _cmd_demo(args) -> int:
 
 def _cmd_sweep(args, parser) -> int:
     from repro.analysis.sweeps import fit_sweep, sweep_report, sweep_table
-    from repro.api import SpecError, SweepSpec, run_sweep_spec, smoke_spec
+    from repro.api import (
+        SpecError,
+        SweepSpec,
+        is_failure,
+        merge_shards,
+        run_sweep_spec,
+        smoke_spec,
+    )
     from repro.sim.experiments import SweepError, ensure_discovered
 
     if args.list:
@@ -188,23 +217,58 @@ def _cmd_sweep(args, parser) -> int:
         spec = (
             _load_spec_file(args.spec, SweepSpec, parser) if args.spec else SweepSpec()
         )
-        try:
-            spec = spec.replace(
-                scenarios=args.scenarios,
-                sizes=args.sizes,
-                seeds=args.seeds,
-                workers=args.workers,
-                output=args.output,
-            )
-        except SpecError as exc:
-            parser.error(str(exc))
         title = "experiment sweep"
+    shard_index, shard_count = args.shard if args.shard else (None, None)
+    try:
+        spec = spec.replace(
+            scenarios=None if args.smoke else args.scenarios,
+            sizes=None if args.smoke else args.sizes,
+            seeds=None if args.smoke else args.seeds,
+            workers=args.workers,
+            output=args.output,
+            shard_index=shard_index,
+            shard_count=shard_count,
+            max_retries=args.max_retries,
+            task_timeout=args.task_timeout,
+        )
+    except SpecError as exc:
+        parser.error(str(exc))
+    if spec.shard_count is not None and not spec.output:
+        # An output-less shard — whether from --shard or a sharded spec
+        # file — would run its partition into a discarded in-memory store:
+        # machine-hours with nothing left to merge.
+        parser.error("a sharded sweep needs --output (or a spec output): the derived shard store")
+
+    if args.merge:
+        # Assemble shard stores into the canonical store, then resume the
+        # spec against it: cells no shard completed (or that failed
+        # everywhere) run here, so the merged table is always complete.
+        if args.shard:
+            parser.error("--merge assembles shards; it cannot also run one (--shard)")
+        if not spec.output:
+            parser.error("--merge needs --output (or a spec output): the canonical store")
+        import dataclasses
+
+        spec = dataclasses.replace(spec, shard_index=None, shard_count=None)
+        try:
+            merged = merge_shards(spec.output)
+        except SpecError as exc:
+            print(f"merge error: {exc}", file=sys.stderr)
+            return 2
+        print(
+            f"merged {len(merged)} rows"
+            + (f" ({len(merged.failures())} failed cells)" if merged.failures() else "")
+            + f" into {spec.output}",
+            file=sys.stderr,
+        )
 
     progress = None
     if args.progress:
         def progress(completed, total, row):
+            state = " FAILED" if is_failure(row) else ""
             print(
-                f"[{completed}/{total}] {row['scenario']} n={row['n']} seed={row['seed']}",
+                f"[{completed}/{total}] {row['scenario']} n={row['n']} "
+                f"seed={row['seed']}{state}",
                 file=sys.stderr,
             )
 
@@ -214,20 +278,35 @@ def _cmd_sweep(args, parser) -> int:
         print(f"sweep error: {exc}", file=sys.stderr)
         return 2
 
+    failed = [row for row in rows if is_failure(row)]
+    table_rows = [row for row in rows if not is_failure(row)]
+    for row in failed:
+        print(
+            f"FAILED CELL {row['scenario']} n={row['n']} seed={row['seed']}: "
+            f"{row['error']}",
+            file=sys.stderr,
+        )
+    status = 1 if failed else 0
+
     if args.report:
-        Path(args.report).write_text(sweep_report(rows, title=title))
-        print(f"wrote {args.report} ({len(rows)} runs)")
-        return 0
+        Path(args.report).write_text(sweep_report(table_rows, title=title))
+        print(f"wrote {args.report} ({len(table_rows)} runs)")
+        return status
     if args.json:
         print(json.dumps(rows, indent=2))
-        return 0
-    print(sweep_table(rows, title=title))
+        return status
+    print(sweep_table(table_rows, title=title))
     if spec.output:
-        print(f"stored {len(rows)} rows in {spec.output}")
+        stored = spec.output
+        if spec.shard_count is not None:
+            from repro.api import shard_store_path
+
+            stored = str(shard_store_path(spec.output, spec.shard_index, spec.shard_count))
+        print(f"stored {len(rows)} rows in {stored}")
     if args.fit:
-        for scenario, fit in sorted(fit_sweep(rows).items()):
+        for scenario, fit in sorted(fit_sweep(table_rows).items()):
             print(f"fit {scenario}: rounds ~ n^{fit.exponent:.2f} (r2={fit.r2:.3f})")
-    return 0
+    return status
 
 
 def _cmd_bench(args, parser) -> int:
@@ -252,6 +331,17 @@ def _cmd_bench(args, parser) -> int:
         return 2
 
     repeats = 1 if spec.quick else spec.repeats
+    # The gate verdict is explicit, machine-readable state — a missing
+    # baseline must never read as "gate passed" (it used to exit 0 with
+    # zero violations, silently skipping the CI perf gate).
+    gate = None
+    if spec.quick:
+        if outcome.baseline is None:
+            gate = "skipped-no-baseline"
+        elif outcome.violations:
+            gate = "failed"
+        else:
+            gate = "ok"
     if args.json:
         print(json.dumps({
             "results": outcome.results,
@@ -259,6 +349,7 @@ def _cmd_bench(args, parser) -> int:
             "violations": list(outcome.violations),
             "baseline_path": outcome.baseline_path,
             "wrote": outcome.wrote,
+            "gate": gate,
         }, indent=2))
     else:
         for name, ms in sorted(outcome.results.items()):
@@ -267,10 +358,13 @@ def _cmd_bench(args, parser) -> int:
             print(f"wrote {outcome.wrote}")
     if not spec.quick:
         return 0
-    if outcome.baseline is None:
-        if not args.json:
-            print(f"no recorded baseline at {outcome.baseline_path}; nothing to gate against")
-        return 0
+    if gate == "skipped-no-baseline":
+        print(
+            f"no recorded baseline at {outcome.baseline_path}: gate SKIPPED, "
+            "not passed (run `repro bench` to record one)",
+            file=sys.stderr,
+        )
+        return 1
     if outcome.violations:
         for line in outcome.violations:
             print(f"PERF REGRESSION {line}", file=sys.stderr)
@@ -333,6 +427,14 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--seeds", type=_int_csv, metavar="0,1", help="per-cell seeds")
     sweep.add_argument("--workers", type=int, metavar="N", help="worker processes (default 1)")
     sweep.add_argument("--output", metavar="PATH", help="JSONL ResultSet store (resumable)")
+    sweep.add_argument("--shard", type=_shard, metavar="I/K",
+                       help="run only shard I of K (writes PATH.shard-I-of-K.jsonl)")
+    sweep.add_argument("--merge", action="store_true",
+                       help="merge PATH.shard-*-of-*.jsonl into PATH, then resume any gaps")
+    sweep.add_argument("--max-retries", type=int, metavar="N",
+                       help="re-dispatches of a group whose worker died/stalled (default 2)")
+    sweep.add_argument("--task-timeout", type=float, metavar="SECONDS",
+                       help="per-group deadline before a stuck worker is killed (default: none)")
     sweep.add_argument("--report", metavar="PATH", help="write a Markdown report instead of printing")
     sweep.add_argument("--fit", action="store_true", help="append per-scenario power-law fits")
     sweep.add_argument("--smoke", action="store_true", help="fixed tiny CI sweep (pins the selectors)")

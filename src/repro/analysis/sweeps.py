@@ -34,8 +34,9 @@ def sweep_columns(rows) -> list[str]:
     that lack a column render it blank.  Provenance that is not a
     measurement is never tabulated: ``metrics`` payloads (full serialized
     :class:`~repro.sim.Metrics` from a persistent store) and the
-    ``params_digest`` resume-key component stay in the rows but out of the
-    display columns.
+    ``size``/``params_digest`` resume-key components stay in the rows but
+    out of the display columns (``n``, the built instance's node count, is
+    the measurement; ``size`` is the request it answered).
     """
     from ..sim.experiments import ROW_FIELDS
 
@@ -43,7 +44,7 @@ def sweep_columns(rows) -> list[str]:
     for row in _as_rows(rows):
         extras.update(row)
     extras -= set(ROW_FIELDS) | {"metrics"}
-    columns = [field for field in ROW_FIELDS if field != "params_digest"]
+    columns = [field for field in ROW_FIELDS if field not in ("size", "params_digest")]
     return columns + sorted(extras)
 
 

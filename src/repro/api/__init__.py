@@ -16,7 +16,14 @@ three ideas:
   (including serialized :class:`~repro.sim.Metrics`).  Re-running a
   :class:`SweepSpec` against an existing store *resumes*: completed
   ``(scenario, size, seed)`` cells are skipped and only the missing ones
-  run, deterministically reproducing the full table.
+  run, deterministically reproducing the full table;
+* a **shard** is one of ``k`` disjoint sub-jobs of a sweep
+  (:meth:`SweepSpec.shard` / ``repro sweep --shard i/k``), each with its
+  own durable store; :func:`merge_shards` recombines them idempotently
+  (see :mod:`repro.api.shard`), so independent machines or CI jobs split
+  one sweep with no coordinator.  Execution is supervised: dead or stuck
+  workers are detected, their cells retried on fresh workers, and cells
+  that keep failing are recorded as ``failed`` rows instead of hanging.
 
 Quickstart::
 
@@ -41,7 +48,8 @@ from .algorithms import (
     list_algorithm_specs,
     register_algorithm_spec,
 )
-from .resultset import ResultSet, cell_key
+from .resultset import ResultSet, cell_key, failure_record, is_failure
+from .shard import find_shard_stores, merge_shards, shard_store_path, shard_store_paths
 from .specs import BenchSpec, ReportSpec, SpecError, SweepSpec, load_spec
 from .run import (
     BenchOutcome,
@@ -62,13 +70,19 @@ __all__ = [
     "SweepSpec",
     "cell_key",
     "discover",
+    "failure_record",
+    "find_shard_stores",
     "get_algorithm_spec",
+    "is_failure",
     "list_algorithm_specs",
     "load_spec",
+    "merge_shards",
     "register_algorithm_spec",
     "run_bench_spec",
     "run_report_spec",
     "run_spec",
     "run_sweep_spec",
+    "shard_store_path",
+    "shard_store_paths",
     "smoke_spec",
 ]

@@ -18,7 +18,19 @@ it.  It owns the orchestration policy:
   per-process cache (see :mod:`repro.sim.experiments`);
 * **streaming** — each finished cell is appended (and flushed) to the store
   and reported through the ``progress`` callback as it lands, so an
-  interrupted sweep loses at most the in-flight cells.
+  interrupted sweep loses at most the in-flight cells;
+* **supervision** — parallel groups run under a supervised dispatcher, not
+  a bare pool: each worker holds one group at a time, a worker that dies or
+  exceeds ``spec.task_timeout`` is detected (via its process sentinel — no
+  polling a hung ``imap``), its group is re-dispatched to a fresh worker up
+  to ``spec.max_retries`` times, and a group that keeps dying is recorded
+  as ``failed`` rows instead of hanging the sweep.  Interrupts and
+  exceptions unwind through ``try``/``finally`` so the store always
+  flushes and closes;
+* **sharding** — a spec with ``shard_index``/``shard_count`` runs only its
+  own deterministic partition of the cross product and writes the derived
+  per-shard store (see :mod:`repro.api.shard`); independent machines each
+  run one shard and :func:`repro.api.merge_shards` reassembles the table.
 
 :func:`run_bench_spec` and :func:`run_report_spec` give the bench/report
 jobs the same spec-in, artifact-out shape.
@@ -28,11 +40,14 @@ from __future__ import annotations
 
 import functools
 import multiprocessing
+import multiprocessing.connection
+import time
 from collections.abc import Callable
 from dataclasses import dataclass, field
 from pathlib import Path
 
-from .resultset import ResultSet, cell_key
+from .resultset import ResultSet, cell_key, failure_record
+from .shard import shard_cells, shard_store_path
 from .specs import BenchSpec, ReportSpec, Spec, SpecError, SweepSpec
 
 __all__ = [
@@ -81,6 +96,212 @@ def _tidy(record: dict, row_fields: tuple) -> dict:
     return row
 
 
+#: Supervisor poll ceiling: the longest the dispatcher sleeps between
+#: liveness/deadline checks when no worker event arrives first (worker
+#: results and deaths wake it immediately via their pipe/process sentinels).
+_POLL_SECONDS = 0.2
+
+
+class _Worker:
+    """One supervised worker: a forked process plus its two private pipes.
+
+    Private pipes (not a shared pool queue) are the crux of fault
+    isolation: when this process dies mid-write, only *its* result channel
+    can hold a torn message, and the supervisor discards the whole channel
+    with the worker — a crash can never corrupt another worker's results
+    or hang a shared ``imap``.  Each channel has exactly one writer and one
+    reader, so plain ``context.Pipe(duplex=False)`` connections (public
+    API — ``send``/``recv``/``poll``/``wait`` need no queue locks) carry
+    the whole protocol.  The worker holds at most one group at a time, so
+    the supervisor always knows exactly which cells a dead worker took
+    down.
+
+    Right after the fork the parent closes its copies of the worker-side
+    ends — before any later sibling can inherit them — which makes the
+    worker the sole writer of its result pipe.  If the worker then dies
+    mid-message, the supervisor's ``recv`` hits EOF and raises instead of
+    blocking forever on a frame that can never complete;
+    :func:`_run_groups_supervised` treats that read failure as the worker
+    death it is.
+    """
+
+    __slots__ = ("process", "tasks", "results", "group_id", "deadline")
+
+    def __init__(self, context, with_metrics: bool):
+        from ..sim import experiments
+
+        task_reader, self.tasks = context.Pipe(duplex=False)
+        self.results, result_writer = context.Pipe(duplex=False)
+        self.group_id: int | None = None
+        self.deadline: float | None = None
+        self.process = context.Process(
+            target=experiments._worker_loop,
+            args=(task_reader, result_writer, with_metrics),
+            daemon=True,
+        )
+        self.process.start()
+        # Drop the worker-side ends so the worker is their sole owner.
+        task_reader.close()
+        result_writer.close()
+
+    def dispatch(self, group_id: int, group: list, timeout: float | None) -> None:
+        self.group_id = group_id
+        self.deadline = time.monotonic() + timeout if timeout else None
+        self.tasks.send(group)
+
+    def shutdown(self) -> None:
+        """Best-effort teardown; never raises (runs on interrupt paths)."""
+        try:
+            if self.process.is_alive():
+                self.process.terminate()
+            self.process.join(timeout=1.0)
+            if self.process.is_alive():
+                self.process.kill()
+                self.process.join(timeout=1.0)
+        except Exception:
+            pass
+        for channel in (self.tasks, self.results):
+            try:
+                channel.close()
+            except Exception:
+                pass
+
+
+def _run_groups_supervised(
+    group_list: list[list[tuple[int, str, int, int]]],
+    *,
+    context,
+    workers: int,
+    with_metrics: bool,
+    max_retries: int,
+    task_timeout: float | None,
+    land: Callable[[int, dict, dict | None], None],
+    fail: Callable[[list, int, str], None],
+) -> None:
+    """Dispatch locality groups to supervised fork workers until all settle.
+
+    Each group either lands its cells (``land`` per cell), or — after its
+    worker died/stalled ``1 + max_retries`` times — is handed to ``fail``.
+    A worker that *reports* an exception (a deterministic driver/oracle
+    failure, not a fault) raises :class:`~repro.sim.experiments.SweepError`
+    exactly like the sequential path; the caller's ``finally`` handles
+    store cleanup.  The wait multiplexes worker result pipes and process
+    sentinels, so both results and deaths wake the supervisor immediately —
+    a dead worker can never hang the sweep.
+    """
+    from ..sim.experiments import SweepError
+
+    pending = list(range(len(group_list)))  # LIFO: retried groups go first
+    failures = [0] * len(group_list)
+    open_groups = len(group_list)
+    pool: list[_Worker] = []
+
+    def crashed(group_id: int, cause: str) -> int:
+        """Account one fault against ``group_id``; 1 if the group is closed."""
+        failures[group_id] += 1
+        if failures[group_id] <= max_retries:
+            pending.append(group_id)  # retry on a fresh worker
+            return 0
+        fail(
+            group_list[group_id],
+            failures[group_id],
+            f"{cause} after {failures[group_id]} attempt(s)",
+        )
+        return 1
+    try:
+        while open_groups:
+            # Replace the fallen and fill up to the target head count.
+            retained = []
+            for w in pool:
+                if w.group_id is None and not w.process.is_alive():
+                    w.shutdown()  # reap a worker that died between groups
+                else:
+                    retained.append(w)
+            pool = retained
+            target = min(workers, len(pending) + sum(w.group_id is not None for w in pool))
+            while sum(w.process.is_alive() for w in pool) < target:
+                pool.append(_Worker(context, with_metrics))
+            for worker in pool:
+                if worker.group_id is None and pending and worker.process.is_alive():
+                    group_id = pending.pop()
+                    try:
+                        worker.dispatch(group_id, group_list[group_id], task_timeout)
+                    except Exception:
+                        # Died between the liveness check and the send: the
+                        # group was never attempted, but bounded accounting
+                        # beats an unbounded requeue loop on a host that
+                        # kills every fork.
+                        worker.group_id = None
+                        worker.shutdown()
+                        open_groups -= crashed(
+                            group_id,
+                            f"worker died before receiving the group "
+                            f"(exit code {worker.process.exitcode})",
+                        )
+
+            # Sleep until a result lands, a worker dies, or a deadline nears.
+            busy = [w for w in pool if w.group_id is not None]
+            now = time.monotonic()
+            deadlines = [w.deadline - now for w in busy if w.deadline is not None]
+            wait = max(0.0, min([_POLL_SECONDS, *deadlines]))
+            sentinels = [w.results for w in busy] + [w.process.sentinel for w in busy]
+            if sentinels:
+                multiprocessing.connection.wait(sentinels, timeout=wait)
+
+            now = time.monotonic()
+            for worker in busy:
+                group_id = worker.group_id
+                stuck = False
+                alive = worker.process.is_alive()
+                if alive and not worker.results.poll():
+                    if worker.deadline is None or now <= worker.deadline:
+                        continue  # still working, within budget
+                    # Stuck beyond the per-group budget: treat as dead.
+                    worker.process.kill()
+                    alive = False
+                    stuck = True
+                if alive:
+                    try:
+                        # The worker is the pipe's sole writer (see _Worker),
+                        # so a death mid-message surfaces here as EOF/unpickle
+                        # failure, never as an indefinitely blocked read.
+                        status, payload = worker.results.recv()
+                    except Exception:
+                        alive = False  # died mid-write: fall through to crash handling
+                    else:
+                        worker.group_id = None
+                        worker.deadline = None
+                        if status == "error":
+                            raise SweepError(payload)
+                        for index, row, metrics in payload:
+                            land(index, row, metrics)
+                        open_groups -= 1
+                        continue
+                # The worker died holding this group.  Its result channel
+                # may hold a torn message — discard it with the worker.
+                # Attribute the fault correctly when giving up: a
+                # supervisor kill at the deadline is a stuck driver, not a
+                # crash, and the operator's remedy differs (raise the
+                # timeout vs chase an OOM/segfault).
+                worker.group_id = None
+                worker.shutdown()
+                open_groups -= crashed(
+                    group_id,
+                    f"worker stuck beyond task_timeout={task_timeout:g}s, killed"
+                    if stuck
+                    else f"worker died (exit code {worker.process.exitcode})",
+                )
+    finally:
+        for worker in pool:
+            if worker.group_id is None and worker.process.is_alive():
+                try:
+                    worker.tasks.send(None)  # polite shutdown for idle workers
+                except Exception:
+                    pass
+        for worker in pool:
+            worker.shutdown()
+
+
 def run_sweep_spec(
     spec: SweepSpec,
     *,
@@ -94,6 +315,18 @@ def run_sweep_spec(
     executed* cell, where ``completed`` counts reused cells too.  Rows come
     back in cross-product order (scenario-major, then size, then seed) —
     identical at any worker count, with or without resume.
+
+    A sharded spec (``shard_index``/``shard_count``) runs only its own
+    partition of the cross product and, when ``spec.output`` is set, writes
+    the derived shard store ``<output>.shard-<i>-of-<k>.jsonl`` — the
+    canonical path stays free for :func:`repro.api.merge_shards`.
+
+    A cell whose worker died or stalled beyond the retry budget comes back
+    as a ``failed`` placeholder row (``row["status"] == "failed"``, see
+    :func:`repro.api.resultset.failure_record`) rather than an exception or
+    a hang; re-running the spec retries exactly those cells.  The store is
+    always flushed and closed — on success, driver errors, and Ctrl-C
+    alike.
     """
     from ..sim import experiments
 
@@ -111,9 +344,16 @@ def run_sweep_spec(
     for name in names:
         experiments.get_scenario(name)  # fail fast, before forking
     if store is None:
-        store = ResultSet.open(spec.output) if spec.output else ResultSet()
+        if spec.output and spec.shard_count is not None:
+            store = ResultSet.open(
+                shard_store_path(spec.output, spec.shard_index, spec.shard_count)
+            )
+        elif spec.output:
+            store = ResultSet.open(spec.output)
+        else:
+            store = ResultSet()
 
-    tasks = spec.cells(names)
+    tasks = shard_cells(spec, names)
     total = len(tasks)
     rows: list[dict | None] = [None] * total
     pending: list[tuple[int, str, int, int]] = []
@@ -126,6 +366,13 @@ def run_sweep_spec(
     }
     for index, (name, n, seed) in enumerate(tasks):
         record = store.get((name, n, seed, digests[name]))
+        if record is not None and "size" not in record:
+            # Pre-"size" records were keyed by the BUILT size, which is
+            # ambiguous on families that round the request (an n=9 grid
+            # row could answer size 9 or size 12).  Like pre-digest
+            # records, they are re-run rather than trusted; the fresh
+            # record supersedes the stale row in the store.
+            record = None
         if record is not None:
             rows[index] = _tidy(record, experiments.ROW_FIELDS)
         else:
@@ -146,6 +393,16 @@ def run_sweep_spec(
         if progress is not None:
             progress(completed, total, row)
 
+    def fail(group: list, attempts: int, message: str) -> None:
+        nonlocal completed
+        for index, name, n, seed in group:
+            record = failure_record(name, n, seed, digests[name], message, attempts)
+            store.append(record)
+            rows[index] = record
+            completed += 1
+            if progress is not None:
+                progress(completed, total, record)
+
     # Group pending cells by graph-instance key (first-seen order) so each
     # group lands on one worker and hits its per-process graph cache.
     groups: dict[tuple, list[tuple[int, str, int, int]]] = {}
@@ -161,17 +418,30 @@ def run_sweep_spec(
             context = multiprocessing.get_context("fork")
         except ValueError:
             context = None  # no fork on this platform: run sequentially
-    run_group = functools.partial(experiments._run_cell_group, with_metrics=with_metrics)
-    if context is not None:
-        with context.Pool(min(spec.workers, len(group_list))) as pool:
-            for chunk in pool.imap_unordered(run_group, group_list):
-                for index, row, metrics in chunk:
+    # try/finally, not context managers alone: the store must flush and
+    # close on *every* exit — success, a driver exception, or Ctrl-C —
+    # or buffered rows of an interrupted sweep would be lost.
+    try:
+        if context is not None:
+            _run_groups_supervised(
+                group_list,
+                context=context,
+                workers=min(spec.workers, len(group_list)),
+                with_metrics=with_metrics,
+                max_retries=spec.max_retries,
+                task_timeout=spec.task_timeout,
+                land=land,
+                fail=fail,
+            )
+        else:
+            run_group = functools.partial(
+                experiments._run_cell_group, with_metrics=with_metrics
+            )
+            for group in group_list:
+                for index, row, metrics in run_group(group):
                     land(index, row, metrics)
-    else:
-        for group in group_list:
-            for index, row, metrics in run_group(group):
-                land(index, row, metrics)
-    store.close()
+    finally:
+        store.close()
     return rows
 
 

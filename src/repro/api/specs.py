@@ -111,6 +111,20 @@ class SweepSpec(Spec):
     ``output`` names the JSONL :class:`~repro.api.ResultSet` store; when it
     already holds rows, re-running the spec *resumes* — completed cells are
     skipped and only the missing ones run.
+
+    ``shard_index``/``shard_count`` select one shard of the job: the cell
+    cross product is partitioned by graph-instance group into
+    ``shard_count`` disjoint sub-jobs (see :meth:`shard` and
+    :mod:`repro.api.shard`), and a sharded spec writes its rows to the
+    derived per-shard store ``<output>.shard-<i>-of-<k>.jsonl`` so
+    independent machines can each run one shard and
+    :func:`repro.api.merge_shards` reassembles the canonical store.
+
+    ``max_retries``/``task_timeout`` are the fault-tolerance policy of the
+    supervised executor: a group whose worker dies (or exceeds
+    ``task_timeout`` seconds) is re-dispatched to a fresh worker up to
+    ``max_retries`` times, then recorded as ``failed`` rows instead of
+    hanging the sweep.
     """
 
     kind = "sweep"
@@ -120,6 +134,10 @@ class SweepSpec(Spec):
     seeds: tuple = (0,)
     workers: int = 1
     output: str | None = None
+    shard_index: int | None = None
+    shard_count: int | None = None
+    max_retries: int = 2
+    task_timeout: float | None = None
 
     def __post_init__(self):
         object.__setattr__(self, "scenarios", _as_tuple(self.scenarios))
@@ -141,7 +159,64 @@ class SweepSpec(Spec):
             raise SpecError(f"sweep spec: workers must be an integer >= 1, got {self.workers!r}")
         if self.output is not None and not isinstance(self.output, str):
             raise SpecError(f"sweep spec: output must be a path string or None, got {self.output!r}")
+        if (self.shard_index is None) != (self.shard_count is None):
+            raise SpecError(
+                "sweep spec: shard_index and shard_count must be set together "
+                f"(got shard_index={self.shard_index!r}, shard_count={self.shard_count!r})"
+            )
+        if self.shard_count is not None:
+            for name in ("shard_index", "shard_count"):
+                value = getattr(self, name)
+                if not isinstance(value, int) or isinstance(value, bool):
+                    raise SpecError(f"sweep spec: {name} must be an integer, got {value!r}")
+            if self.shard_count < 1:
+                raise SpecError(
+                    f"sweep spec: shard_count must be >= 1, got {self.shard_count!r}"
+                )
+            if not 1 <= self.shard_index <= self.shard_count:
+                raise SpecError(
+                    f"sweep spec: shard_index must be in 1..{self.shard_count}, "
+                    f"got {self.shard_index!r}"
+                )
+        if (
+            not isinstance(self.max_retries, int)
+            or isinstance(self.max_retries, bool)
+            or self.max_retries < 0
+        ):
+            raise SpecError(
+                f"sweep spec: max_retries must be an integer >= 0, got {self.max_retries!r}"
+            )
+        if self.task_timeout is not None and (
+            not isinstance(self.task_timeout, (int, float))
+            or isinstance(self.task_timeout, bool)
+            or self.task_timeout <= 0
+        ):
+            raise SpecError(
+                f"sweep spec: task_timeout must be a positive number of seconds "
+                f"or None, got {self.task_timeout!r}"
+            )
         return self
+
+    def shard(self, count: int) -> "list[SweepSpec]":
+        """The ``count`` disjoint sub-specs of this sweep, one per shard.
+
+        Each sub-spec carries ``shard_index``/``shard_count`` (1-based) and
+        is otherwise identical — including ``output``, which stays the
+        *canonical* store path; the executor derives the per-shard path
+        (:func:`repro.api.shard.shard_store_path`) so a later merge knows
+        where the canonical store lives.  Partitioning happens at run time,
+        by graph-instance group (:func:`repro.api.shard.partition_cells`),
+        so every shard keeps whole locality groups and the union of the
+        shards is exactly this spec's cross product.
+        """
+        if not isinstance(count, int) or isinstance(count, bool) or count < 1:
+            raise SpecError(f"sweep spec: shard count must be an integer >= 1, got {count!r}")
+        if self.shard_count is not None:
+            raise SpecError("sweep spec: already sharded; shard the unsharded spec")
+        return [
+            dataclasses.replace(self, shard_index=i, shard_count=count).validate()
+            for i in range(1, count + 1)
+        ]
 
     def cells(self, scenario_names: list[str] | None = None) -> list[tuple]:
         """The (scenario, n, seed) cross product in canonical row order.

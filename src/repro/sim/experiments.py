@@ -97,6 +97,7 @@ ROW_FIELDS = (
     "n",
     "m",
     "seed",
+    "size",
     "params_digest",
     "rounds",
     "messages",
@@ -321,6 +322,12 @@ def _run_cell(name: str, n: int, seed: int) -> tuple[dict, Metrics]:
         "n": graph.num_nodes,
         "m": graph.num_edges,
         "seed": seed,
+        # The *requested* size.  Families may round it (a grid at size 12
+        # builds a 3x3 = 9-node instance), but resume and sharding address
+        # cells by what was asked for — keying on graph.num_nodes made
+        # every resume lookup miss on such families and silently re-run
+        # their cells (see repro.api.cell_key).
+        "size": n,
         "params_digest": scenario_digest(scenario),
         "rounds": summary["rounds"],
         "messages": summary["messages"],
@@ -371,6 +378,42 @@ def _run_cell_group(
         row, metrics = _run_cell(name, n, seed)
         out.append((index, row, metrics.to_dict() if with_metrics else None))
     return out
+
+
+def _worker_loop(task_pipe, result_pipe, with_metrics: bool = True) -> None:
+    """Supervised-executor worker: serve dispatched cell groups until told to stop.
+
+    The group-level task protocol of :func:`repro.api.run_sweep_spec`'s
+    supervisor: the parent sends whole locality groups down this worker's
+    private task pipe (``None`` or EOF means shut down) and the worker
+    answers each on its private result pipe with ``("ok", triples)`` or
+    ``("error", message)``.  Both are one-writer/one-reader
+    ``multiprocessing.Pipe(duplex=False)`` connections.  Driver exceptions
+    are stringified before crossing the pipe, so an unpicklable exception
+    object can never turn a deterministic failure into a hung parent.  A
+    worker that dies mid-group (crash, OOM kill, ``os._exit``) simply
+    never answers — the supervisor notices via the process sentinel and
+    re-dispatches the group.  Signals
+    (``KeyboardInterrupt``/``SystemExit``) propagate and kill the worker
+    for the same reason: an interrupt is a death, not a driver bug, and
+    reporting it as ``"error"`` would abort the whole sweep instead of
+    letting the supervisor's fault path decide.
+    """
+    while True:
+        try:
+            group = task_pipe.recv()
+        except EOFError:
+            return  # the supervisor is gone; nothing left to serve
+        if group is None:
+            return
+        try:
+            result = _run_cell_group(group, with_metrics=with_metrics)
+        except (KeyboardInterrupt, SystemExit):
+            raise  # die silently; the supervisor sees a dead worker
+        except BaseException as exc:  # noqa: BLE001 — must cross the pipe as data
+            result_pipe.send(("error", f"{type(exc).__name__}: {exc}"))
+        else:
+            result_pipe.send(("ok", result))
 
 
 # ----------------------------------------------------------------------

@@ -178,6 +178,72 @@ class TestSweepSpecCLI:
         assert "[1/1] bfs/grid n=9 seed=0" in err
 
 
+class TestShardCLI:
+    SELECTORS = ["--scenarios", "bfs/grid,bellman-ford/er", "--sizes", "9,16",
+                 "--seeds", "0"]
+
+    def test_shard_run_and_merge_reproduce_the_single_table(self, tmp_path, capsys):
+        assert main(["sweep", *self.SELECTORS, "--json"]) == 0
+        single = json.loads(capsys.readouterr().out)
+        store = tmp_path / "runs.jsonl"
+        for shard in ("1/2", "2/2"):
+            assert main(["sweep", *self.SELECTORS, "--output", str(store),
+                         "--shard", shard]) == 0
+        capsys.readouterr()
+        assert (tmp_path / "runs.jsonl.shard-1-of-2.jsonl").exists()
+        assert not store.exists()
+        assert main(["sweep", *self.SELECTORS, "--output", str(store),
+                     "--merge", "--json"]) == 0
+        captured = capsys.readouterr()
+        assert "merged" in captured.err
+        assert json.loads(captured.out) == single
+        assert store.exists()
+
+    def test_shard_flag_prints_the_derived_store_path(self, tmp_path, capsys):
+        store = tmp_path / "runs.jsonl"
+        assert main(["sweep", *self.SELECTORS, "--output", str(store),
+                     "--shard", "2/2"]) == 0
+        assert "runs.jsonl.shard-2-of-2.jsonl" in capsys.readouterr().out
+
+    @pytest.mark.parametrize("value", ["0/2", "3/2", "1of2", "1/0", "x/y"])
+    def test_malformed_shard_flag_exits_2(self, value, capsys):
+        assert main(["sweep", *self.SELECTORS, "--shard", value]) == 2
+        assert "usage:" in capsys.readouterr().err
+
+    def test_shard_without_output_is_rejected(self, capsys):
+        # Running a shard into a discarded in-memory store would silently
+        # waste the whole partition.
+        assert main(["sweep", *self.SELECTORS, "--shard", "1/2"]) == 2
+        assert "sharded sweep needs --output" in capsys.readouterr().err
+
+    def test_sharded_spec_file_without_output_is_rejected(self, tmp_path, capsys):
+        # The guard must fire on the resolved SPEC, not the --shard flag:
+        # a sharded spec file with no output is the same silent discard.
+        spec_file = tmp_path / "shard.json"
+        spec_file.write_text(json.dumps({
+            "kind": "sweep", "scenarios": ["bfs/grid"], "sizes": [9],
+            "shard_index": 1, "shard_count": 2,
+        }))
+        assert main(["sweep", "--spec", str(spec_file)]) == 2
+        assert "sharded sweep needs --output" in capsys.readouterr().err
+
+    def test_merge_with_shard_is_rejected(self, tmp_path, capsys):
+        assert main(["sweep", *self.SELECTORS, "--output",
+                     str(tmp_path / "r.jsonl"), "--shard", "1/2", "--merge"]) == 2
+
+    def test_merge_without_output_is_rejected(self, capsys):
+        assert main(["sweep", *self.SELECTORS, "--merge"]) == 2
+
+    def test_merge_without_shard_stores_exits_2(self, tmp_path, capsys):
+        assert main(["sweep", *self.SELECTORS, "--output",
+                     str(tmp_path / "r.jsonl"), "--merge"]) == 2
+        assert "no shard stores" in capsys.readouterr().err
+
+    def test_bad_retry_and_timeout_values_exit_2(self, capsys):
+        assert main(["sweep", *self.SELECTORS, "--max-retries", "-1"]) == 2
+        assert main(["sweep", *self.SELECTORS, "--task-timeout", "0"]) == 2
+
+
 class TestBenchCLI:
     def test_bench_writes_json(self, tmp_path, capsys):
         target = tmp_path / "BENCH.json"
@@ -210,10 +276,29 @@ class TestBenchCLI:
         assert main(["bench", "--spec", str(spec_file)]) == 0
         assert json.loads((tmp_path / "B.json").read_text())["smoke"] > 0
 
-    def test_bench_quick_without_baseline_is_clean(self, tmp_path, capsys, monkeypatch):
+    def test_bench_quick_without_baseline_exits_nonzero(self, tmp_path, capsys, monkeypatch):
+        # A missing baseline must never read as "gate passed": the old
+        # behavior exited 0 with zero violations, silently skipping the
+        # CI perf gate.
         monkeypatch.chdir(tmp_path)  # no BENCH.json here
-        assert main(["bench", "--quick", "--experiments", "smoke"]) == 0
-        assert "no recorded baseline" in capsys.readouterr().out
+        assert main(["bench", "--quick", "--experiments", "smoke"]) == 1
+        err = capsys.readouterr().err
+        assert "no recorded baseline" in err and "SKIPPED" in err
+
+    def test_bench_quick_without_baseline_json_carries_gate_field(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        monkeypatch.chdir(tmp_path)
+        assert main(["bench", "--quick", "--experiments", "smoke", "--json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["gate"] == "skipped-no-baseline"
+        assert payload["violations"] == []
+
+    def test_bench_quick_with_baseline_json_gate_ok(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        (tmp_path / "BENCH.json").write_text(json.dumps({"smoke": 1e9}))
+        assert main(["bench", "--quick", "--experiments", "smoke", "--json"]) == 0
+        assert json.loads(capsys.readouterr().out)["gate"] == "ok"
 
     def test_bench_quick_flags_regression(self, tmp_path, capsys, monkeypatch):
         monkeypatch.chdir(tmp_path)

@@ -177,7 +177,7 @@ class TestAnalysisWiring:
         rows = sweep(["bfs/grid"], sizes=(9, 16))
         table = sweep_table(rows)
         for field in ROW_FIELDS:
-            if field == "params_digest":
+            if field in ("size", "params_digest"):
                 assert field not in table  # resume provenance, not a measurement
             else:
                 assert field in table
@@ -214,7 +214,7 @@ class TestSweepCLI:
         assert lines[0].startswith("== smoke sweep ==")
         header = lines[1]
         for field in ROW_FIELDS:
-            if field != "params_digest":  # kept out of display columns
+            if field not in ("size", "params_digest"):  # kept out of display columns
                 assert field in header
         assert len(lines) >= 3 + 4  # title + header + rule + at least one row per scenario
 
