@@ -116,6 +116,7 @@ def _scenario_catalog() -> list[dict]:
             "model": spec.model,
             "oracle": spec.oracle,
             "max_weight": scenario.max_weight,
+            "latency_model": scenario.latency_model,
             "params": dict(scenario.params),
             "param_schema": [list(pair) for pair in spec.param_schema],
             "description": scenario.description or spec.description,
@@ -230,6 +231,8 @@ def _cmd_sweep(args, parser) -> int:
             shard_count=shard_count,
             max_retries=args.max_retries,
             task_timeout=args.task_timeout,
+            latency_model=args.latency_model,
+            engine=args.engine,
         )
     except SpecError as exc:
         parser.error(str(exc))
@@ -435,6 +438,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="re-dispatches of a group whose worker died/stalled (default 2)")
     sweep.add_argument("--task-timeout", type=float, metavar="SECONDS",
                        help="per-group deadline before a stuck worker is killed (default: none)")
+    sweep.add_argument("--latency-model", metavar="MODEL",
+                       help="network model for every cell: unit, uniform:K, or random:K "
+                       "(default: each scenario's own model)")
+    sweep.add_argument("--engine", choices=("round", "event"),
+                       help="simulation backend (default: round for unit latency, "
+                       "event otherwise; 'event' on unit latency is the differential check)")
     sweep.add_argument("--report", metavar="PATH", help="write a Markdown report instead of printing")
     sweep.add_argument("--fit", action="store_true", help="append per-scenario power-law fits")
     sweep.add_argument("--smoke", action="store_true", help="fixed tiny CI sweep (pins the selectors)")

@@ -44,29 +44,62 @@ def linear_regression(xs: list[float], ys: list[float]) -> tuple[float, float, f
 
 @dataclass
 class PowerFit:
-    """``y = coefficient * x^exponent`` with the regression's ``r2``."""
+    """``y = coefficient * x^exponent`` with the regression's ``r2``.
+
+    A fit over a series that cannot support one (fewer than two points, or
+    all sizes identical after the log transform) is *degenerate*: NaN
+    coefficient/exponent with ``r2 = 0.0``.  Report code checks
+    :attr:`degenerate` instead of wrapping every fit in ``try``.
+    """
 
     coefficient: float
     exponent: float
     r2: float
 
+    @property
+    def degenerate(self) -> bool:
+        """True when the series could not support a regression."""
+        return math.isnan(self.exponent)
+
     def predict(self, x: float) -> float:
         return self.coefficient * x**self.exponent
 
 
+def _degenerate_fit() -> PowerFit:
+    return PowerFit(coefficient=math.nan, exponent=math.nan, r2=0.0)
+
+
 def fit_power_law(xs: list[float], ys: list[float]) -> PowerFit:
-    """Fit ``y = a x^b`` by regression in log-log space (positive data)."""
-    lx = [math.log(x) for x in xs]
+    """Fit ``y = a x^b`` by regression in log-log space.
+
+    Non-positive coordinates are clamped to ``1e-12`` before the log
+    transform (x exactly like y — a zero-size or zero-valued point must
+    not crash report generation with a ``math domain error``), and a
+    series the regression rejects (fewer than two points, or no two
+    distinct sizes) returns the degenerate sentinel instead of raising.
+    """
+    lx = [math.log(max(x, 1e-12)) for x in xs]
     ly = [math.log(max(y, 1e-12)) for y in ys]
-    intercept, slope, r2 = linear_regression(lx, ly)
+    try:
+        intercept, slope, r2 = linear_regression(lx, ly)
+    except ValueError:
+        return _degenerate_fit()
     return PowerFit(coefficient=math.exp(intercept), exponent=slope, r2=r2)
 
 
 def fit_polylog(xs: list[float], ys: list[float]) -> PowerFit:
-    """Fit ``y = a (log2 x)^c``: a power law in ``log2 x``."""
-    lx = [math.log(max(math.log2(x), 1e-12)) for x in xs]
+    """Fit ``y = a (log2 x)^c``: a power law in ``log2 x``.
+
+    Clamped and sentinel'd exactly like :func:`fit_power_law` — here even
+    positive sizes need the guard, since ``log2 x`` is non-positive for
+    ``x <= 1`` and the outer log would reject it.
+    """
+    lx = [math.log(max(math.log2(max(x, 1e-12)), 1e-12)) for x in xs]
     ly = [math.log(max(y, 1e-12)) for y in ys]
-    intercept, slope, r2 = linear_regression(lx, ly)
+    try:
+        intercept, slope, r2 = linear_regression(lx, ly)
+    except ValueError:
+        return _degenerate_fit()
     return PowerFit(coefficient=math.exp(intercept), exponent=slope, r2=r2)
 
 
@@ -76,10 +109,15 @@ def compare_models(xs: list[float], ys: list[float]) -> dict:
     ``verdict`` is "polylog" when the polylog model's r2 is at least as
     good, or when the fitted power exponent is below 0.5 (sub-square-root
     growth — at experiment scale a polylog masquerades as a small power).
+    A series neither model can be fitted to (see :attr:`PowerFit.degenerate`)
+    gets verdict ``"degenerate"`` — no winner should be claimed from a
+    sentinel's NaNs.
     """
     power = fit_power_law(xs, ys)
     polylog = fit_polylog(xs, ys)
-    if polylog.r2 >= power.r2 - 1e-9 or power.exponent < 0.5:
+    if power.degenerate or polylog.degenerate:
+        verdict = "degenerate"
+    elif polylog.r2 >= power.r2 - 1e-9 or power.exponent < 0.5:
         verdict = "polylog"
     else:
         verdict = "power"

@@ -88,8 +88,18 @@ def _tidy(record: dict, row_fields: tuple) -> dict:
     order, then any scenario-specific quality columns in sorted key order —
     the same layout :func:`repro.sim.experiments.run_scenario` emits, so
     store-reloaded rows equal freshly computed ones exactly.
+
+    ``latency_model`` defaults to ``"unit"`` for records stored before the
+    column existed: those rows could only have come from the synchronous
+    engine, whose network *is* the unit model, so the default is the
+    recorded truth, not a guess.  (Their resume digests omit unit latency
+    for the same reason — old stores stay resumable; see
+    :func:`repro.sim.experiments.scenario_digest`.)
     """
-    row = {name: record[name] for name in row_fields}
+    row = {
+        name: record.get(name, "unit") if name == "latency_model" else record[name]
+        for name in row_fields
+    }
     for key in sorted(record):
         if key not in row and key != "metrics":
             row[key] = record[key]
@@ -127,7 +137,13 @@ class _Worker:
 
     __slots__ = ("process", "tasks", "results", "group_id", "deadline")
 
-    def __init__(self, context, with_metrics: bool):
+    def __init__(
+        self,
+        context,
+        with_metrics: bool,
+        engine: str | None = None,
+        latency_model: str | None = None,
+    ):
         from ..sim import experiments
 
         task_reader, self.tasks = context.Pipe(duplex=False)
@@ -136,7 +152,7 @@ class _Worker:
         self.deadline: float | None = None
         self.process = context.Process(
             target=experiments._worker_loop,
-            args=(task_reader, result_writer, with_metrics),
+            args=(task_reader, result_writer, with_metrics, engine, latency_model),
             daemon=True,
         )
         self.process.start()
@@ -177,6 +193,8 @@ def _run_groups_supervised(
     task_timeout: float | None,
     land: Callable[[int, dict, dict | None], None],
     fail: Callable[[list, int, str], None],
+    engine: str | None = None,
+    latency_model: str | None = None,
 ) -> None:
     """Dispatch locality groups to supervised fork workers until all settle.
 
@@ -220,7 +238,7 @@ def _run_groups_supervised(
             pool = retained
             target = min(workers, len(pending) + sum(w.group_id is not None for w in pool))
             while sum(w.process.is_alive() for w in pool) < target:
-                pool.append(_Worker(context, with_metrics))
+                pool.append(_Worker(context, with_metrics, engine, latency_model))
             for worker in pool:
                 if worker.group_id is None and pending and worker.process.is_alive():
                     group_id = pending.pop()
@@ -342,7 +360,25 @@ def run_sweep_spec(
         else experiments.list_scenarios()
     )
     for name in names:
-        experiments.get_scenario(name)  # fail fast, before forking
+        scenario = experiments.get_scenario(name)  # fail fast, before forking
+        if spec.engine == "round":
+            # spec.validate() already rejected a round engine with an
+            # explicit non-unit latency_model; a registered scenario can
+            # carry its own non-unit model too, so check the effective one.
+            from ..sim.events import canonical_latency
+
+            effective = (
+                spec.latency_model
+                if spec.latency_model is not None
+                else scenario.latency_model
+            )
+            if canonical_latency(effective) != "unit":
+                raise SpecError(
+                    f"sweep spec: scenario {name!r} uses latency model "
+                    f"{effective!r}, which the synchronous 'round' engine "
+                    f"cannot express; drop engine='round' or override "
+                    f"latency_model='unit'"
+                )
     if store is None:
         if spec.output and spec.shard_count is not None:
             store = ResultSet.open(
@@ -361,7 +397,9 @@ def run_sweep_spec(
     # under different params for the same scenario name misses the lookup,
     # so its stale cells re-run instead of silently polluting the table.
     digests = {
-        name: experiments.scenario_digest(experiments.get_scenario(name))
+        name: experiments.scenario_digest(
+            experiments.get_scenario(name), latency_model=spec.latency_model
+        )
         for name in names
     }
     for index, (name, n, seed) in enumerate(tasks):
@@ -432,10 +470,15 @@ def run_sweep_spec(
                 task_timeout=spec.task_timeout,
                 land=land,
                 fail=fail,
+                engine=spec.engine,
+                latency_model=spec.latency_model,
             )
         else:
             run_group = functools.partial(
-                experiments._run_cell_group, with_metrics=with_metrics
+                experiments._run_cell_group,
+                with_metrics=with_metrics,
+                engine=spec.engine,
+                latency_model=spec.latency_model,
             )
             for group in group_list:
                 for index, row, metrics in run_group(group):

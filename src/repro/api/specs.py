@@ -125,6 +125,16 @@ class SweepSpec(Spec):
     ``task_timeout`` seconds) is re-dispatched to a fresh worker up to
     ``max_retries`` times, then recorded as ``failed`` rows instead of
     hanging the sweep.
+
+    ``latency_model``/``engine`` select the network model and simulation
+    backend (see :mod:`repro.sim.events`).  Both default to ``None`` —
+    "use each scenario's own defaults": unit-latency scenarios on the
+    synchronous round engine, latency-heterogeneous ones on the event
+    engine.  Setting ``latency_model`` overrides the network for *every*
+    cell (it becomes part of the cell's resume digest); setting ``engine``
+    pins the backend (``"event"`` on unit latency is the differential
+    check — same rows, asynchronous core; ``"round"`` on a non-unit model
+    is rejected).
     """
 
     kind = "sweep"
@@ -138,6 +148,8 @@ class SweepSpec(Spec):
     shard_count: int | None = None
     max_retries: int = 2
     task_timeout: float | None = None
+    latency_model: str | None = None
+    engine: str | None = None
 
     def __post_init__(self):
         object.__setattr__(self, "scenarios", _as_tuple(self.scenarios))
@@ -194,6 +206,31 @@ class SweepSpec(Spec):
             raise SpecError(
                 f"sweep spec: task_timeout must be a positive number of seconds "
                 f"or None, got {self.task_timeout!r}"
+            )
+        if self.engine is not None and self.engine not in ("round", "event"):
+            raise SpecError(
+                f"sweep spec: engine must be 'round', 'event' or None, "
+                f"got {self.engine!r}"
+            )
+        canonical = None
+        if self.latency_model is not None:
+            if not isinstance(self.latency_model, str):
+                raise SpecError(
+                    f"sweep spec: latency_model must be a string or None, "
+                    f"got {self.latency_model!r}"
+                )
+            # Lazy import keeps the spec layer import-light; events has no
+            # back-dependency on repro.api.
+            from ..sim.events import canonical_latency
+
+            try:
+                canonical = canonical_latency(self.latency_model)
+            except ValueError as exc:
+                raise SpecError(f"sweep spec: {exc}") from None
+        if self.engine == "round" and canonical is not None and canonical != "unit":
+            raise SpecError(
+                f"sweep spec: the synchronous 'round' engine cannot express "
+                f"latency model {canonical!r}; use engine='event'"
             )
         return self
 

@@ -12,7 +12,7 @@ concurrent instances (APSP) infeasible.
 from __future__ import annotations
 
 from ..graphs import Graph, INFINITY
-from ..sim import Context, Metrics, Mode, NodeAlgorithm, Runner
+from ..sim import Context, Metrics, Mode, NodeAlgorithm, latency_bound, make_runner
 
 __all__ = ["BellmanFordNode", "run_bellman_ford"]
 
@@ -68,13 +68,18 @@ def run_bellman_ford(
     ``send_on_change=False`` is the paper's ``Theta(mn)``-message baseline;
     ``True`` is the folk optimization (same worst case, better in practice).
     The horizon is ``n`` rounds — enough for any shortest path (at most
-    ``n - 1`` edges), and all nodes know ``n``.
+    ``n - 1`` edges), and all nodes know ``n``.  Under an asynchronous
+    engine it scales by the latency bound: an estimate needs at most
+    ``L`` time units per hop, so ``n * L`` covers every path.  That makes
+    Bellman-Ford *delay-tolerant* — it converges to correct distances
+    under any per-edge latency model (relaxation is monotone; timing only
+    changes when estimates improve, not what they converge to).
     """
-    horizon = graph.num_nodes
+    horizon = graph.num_nodes * latency_bound()
     algorithms = {
         u: BellmanFordNode(u, u == source, horizon, send_on_change=send_on_change)
         for u in graph.nodes()
     }
-    runner = Runner(graph, algorithms, Mode.CONGEST, metrics=metrics)
+    runner = make_runner(graph, algorithms, Mode.CONGEST, metrics=metrics)
     runner.run()
     return {u: algorithms[u].dist for u in graph.nodes()}

@@ -13,7 +13,7 @@ experiment E8 shows the contrast with the recursion-based SSSP.
 from __future__ import annotations
 
 from ..graphs import Graph, INFINITY
-from ..sim import Context, Metrics, Mode, NodeAlgorithm, Runner
+from ..sim import Context, Metrics, Mode, NodeAlgorithm, make_runner
 from ..core.bfs import WeightedBFS
 from ..core.trees import RootedForest, run_convergecast_broadcast
 
@@ -52,7 +52,7 @@ def _build_bfs_tree(graph: Graph, source: object, metrics: Metrics) -> RootedFor
         )
         for u in unit.nodes()
     }
-    Runner(unit, algorithms, Mode.CONGEST, metrics=metrics).run()
+    make_runner(unit, algorithms, Mode.CONGEST, metrics=metrics).run()
     return RootedForest({u: algorithms[u].parent for u in unit.nodes()})
 
 
@@ -98,7 +98,7 @@ def run_distributed_dijkstra(
         relaxers = {
             u: _RelaxNode(u, u == winner, estimate[winner]) for u in graph.nodes()
         }
-        Runner(graph, relaxers, Mode.CONGEST, metrics=metrics).run()
+        make_runner(graph, relaxers, Mode.CONGEST, metrics=metrics).run()
         for u in graph.nodes():
             for _sender, offer in relaxers[u].offers.items():
                 if u not in visited and offer < estimate[u]:

@@ -27,7 +27,7 @@ The unweighted BFS of Section 3 is the special case of unit weights.
 from __future__ import annotations
 
 from ..graphs import Graph, INFINITY
-from ..sim import Context, Metrics, Mode, NodeAlgorithm, Runner
+from ..sim import Context, Metrics, Mode, NodeAlgorithm, make_runner
 
 __all__ = ["WeightedBFS", "run_weighted_bfs", "run_bfs"]
 
@@ -151,7 +151,7 @@ def run_weighted_bfs(
         )
         for u in graph.nodes()
     }
-    runner = Runner(graph, algorithms, Mode.CONGEST, metrics=metrics)
+    runner = make_runner(graph, algorithms, Mode.CONGEST, metrics=metrics)
     runner.run()
     return {u: algorithms[u].dist for u in graph.nodes()}
 

@@ -44,7 +44,7 @@ from __future__ import annotations
 import math
 
 from ..graphs import Graph
-from ..sim import Context, Metrics, Mode, NodeAlgorithm, Runner, SimulationError
+from ..sim import Context, Metrics, Mode, NodeAlgorithm, SimulationError, make_runner
 from .trees import RootedForest
 
 __all__ = ["BoruvkaNode", "build_maximal_forest", "boruvka_phase_count", "boruvka_round_bound"]
@@ -312,7 +312,7 @@ def build_maximal_forest(graph: Graph, *, metrics: Metrics | None = None) -> Roo
     if n == 0:
         return RootedForest({})
     algorithms = {u: BoruvkaNode(u, n) for u in graph.nodes()}
-    runner = Runner(graph, algorithms, Mode.CONGEST, metrics=metrics)
+    runner = make_runner(graph, algorithms, Mode.CONGEST, metrics=metrics)
     runner.run()
     parent = {u: algorithms[u].parent for u in graph.nodes()}
     return RootedForest(parent)

@@ -22,7 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..graphs import Graph, INFINITY
-from ..sim import Context, Metrics, Mode, NodeAlgorithm, Runner
+from ..sim import Context, Metrics, Mode, NodeAlgorithm, make_runner
 from .trees import RootedForest
 
 __all__ = [
@@ -55,7 +55,7 @@ class _DistanceExchange(NodeAlgorithm):
 
 def _exchange(graph: Graph, distances: dict, metrics: Metrics | None) -> dict:
     algorithms = {u: _DistanceExchange(u, distances[u]) for u in graph.nodes()}
-    Runner(graph, algorithms, Mode.CONGEST, metrics=metrics).run()
+    make_runner(graph, algorithms, Mode.CONGEST, metrics=metrics).run()
     return {u: algorithms[u].neighbor_dist for u in graph.nodes()}
 
 

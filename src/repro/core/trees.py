@@ -17,7 +17,7 @@ from collections import deque
 from collections.abc import Callable, Iterable
 
 from ..graphs import Graph
-from ..sim import Context, Metrics, Mode, NodeAlgorithm, Runner
+from ..sim import Context, Metrics, Mode, NodeAlgorithm, make_runner
 
 __all__ = [
     "RootedForest",
@@ -209,6 +209,6 @@ def run_convergecast_broadcast(
     algorithms = {
         u: ConvergecastBroadcast(forest, u, values[u], combine) for u in graph.nodes()
     }
-    runner = Runner(graph, algorithms, Mode.CONGEST, metrics=metrics)
+    runner = make_runner(graph, algorithms, Mode.CONGEST, metrics=metrics)
     runner.run()
     return {u: algorithms[u].result for u in graph.nodes()}

@@ -19,7 +19,7 @@ tests exercise exactly that contract under lossy sleeping semantics.
 from __future__ import annotations
 
 from ..graphs import Graph
-from ..sim import Context, Metrics, Mode, NodeAlgorithm, Runner
+from ..sim import Context, Metrics, Mode, NodeAlgorithm, make_runner
 from ..core.trees import RootedForest
 
 __all__ = ["PeriodicTreeAggregation", "run_periodic_aggregation"]
@@ -134,5 +134,5 @@ def run_periodic_aggregation(
         )
         for u in graph.nodes()
     }
-    Runner(graph, algorithms, Mode.SLEEPING, metrics=metrics).run()
+    make_runner(graph, algorithms, Mode.SLEEPING, metrics=metrics).run()
     return {u: algorithms[u].result for u in graph.nodes()}

@@ -15,7 +15,7 @@ most one offer per direction (congestion ``O(1)`` per step).
 from __future__ import annotations
 
 from ..graphs import Graph, INFINITY
-from ..sim import Context, Metrics, Mode, NodeAlgorithm, Runner
+from ..sim import Context, Metrics, Mode, NodeAlgorithm, make_runner
 
 __all__ = ["LabeledBFS", "run_labeled_bfs"]
 
@@ -95,7 +95,7 @@ def run_labeled_bfs(
         u: LabeledBFS(u, threshold, source_label=source_labels.get(u))
         for u in graph.nodes()
     }
-    Runner(graph, algorithms, Mode.CONGEST, metrics=metrics).run()
+    make_runner(graph, algorithms, Mode.CONGEST, metrics=metrics).run()
     return {
         u: (algorithms[u].dist, algorithms[u].label, algorithms[u].parent, algorithms[u].hops)
         for u in graph.nodes()

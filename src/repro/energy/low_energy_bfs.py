@@ -48,7 +48,7 @@ from bisect import bisect_right
 from dataclasses import dataclass, field
 
 from ..graphs import Graph, INFINITY
-from ..sim import Context, Metrics, Mode, NodeAlgorithm, Runner
+from ..sim import Context, Metrics, Mode, NodeAlgorithm, make_runner
 from .covers import LayeredCover
 
 __all__ = ["LowEnergyBFSNode", "Schedule", "run_low_energy_bfs"]
@@ -562,7 +562,7 @@ def run_low_energy_bfs(
         u: LowEnergyBFSNode(u, roles_by_node[u], schedule, sources.get(u))
         for u in graph.nodes()
     }
-    runner = Runner(
+    runner = make_runner(
         graph,
         algorithms,
         Mode.SLEEPING,

@@ -1,9 +1,31 @@
-"""Simulator of the synchronous CONGEST model and its sleeping variant."""
+"""Simulator of the synchronous CONGEST model and its sleeping variant.
+
+Two execution engines share the :class:`NodeAlgorithm`/:class:`Context`/
+:class:`Inbox` API: the synchronous :class:`Runner` (lock-step rounds, the
+model the paper's guarantees are stated in) and the asynchronous
+:class:`EventRunner` (virtual-time event heap, per-edge latency models,
+bandwidth/duration stopping conditions).  Under the default unit latency
+model the two are differentially identical; :func:`make_runner` plus the
+:func:`simulation_engine` context select the engine library-wide.
+"""
 
 from .metrics import Metrics
 from .runner import Context, Inbox, Mode, NodeAlgorithm, Runner, SimulationError
 from .reference import ReferenceRunner
 from .trace import TracingMetrics
+from .events import (
+    EdgeTableLatency,
+    EventRunner,
+    LatencyModel,
+    RandomDelayLatency,
+    UniformLatency,
+    canonical_latency,
+    current_engine,
+    latency_bound,
+    make_runner,
+    parse_latency_model,
+    simulation_engine,
+)
 
 __all__ = [
     "Metrics",
@@ -15,4 +37,15 @@ __all__ = [
     "Runner",
     "ReferenceRunner",
     "SimulationError",
+    "EventRunner",
+    "LatencyModel",
+    "UniformLatency",
+    "RandomDelayLatency",
+    "EdgeTableLatency",
+    "parse_latency_model",
+    "canonical_latency",
+    "simulation_engine",
+    "current_engine",
+    "latency_bound",
+    "make_runner",
 ]

@@ -1,0 +1,630 @@
+"""Event-driven asynchronous simulation core.
+
+The synchronous :class:`~repro.sim.Runner` executes the paper's lock-step
+models: every message takes exactly one round, so its scheduler is a heap
+of *distinct pending rounds*.  Real deployments are not lock-step — links
+have heterogeneous latency, nodes wake when traffic arrives, and runs are
+bounded by wall-clock or bandwidth budgets, not round counts.  This module
+generalizes the distinct-round scheduler into a true event-driven core:
+
+* a virtual-time **event heap**: a heap of distinct integer times, each
+  owning a :class:`_Slot` of ordered events — message-delivery events
+  (unicast, then broadcast) and node-wake events.  Within one time the
+  slot's lists preserve global send order (the ``seq`` in the conceptual
+  ``(time, kind, seq)`` event key), so execution is fully deterministic;
+* **per-edge latency models** (:class:`UniformLatency`, the seeded
+  :class:`RandomDelayLatency`, explicit :class:`EdgeTableLatency`
+  tables): a message sent at time ``t`` over port ``p`` is delivered at
+  ``t + delay(p)``;
+* **stopping conditions** beyond the round budget: ``max_time`` (a
+  duration horizon — simulation stops gracefully once virtual time passes
+  it) and ``message_budget`` (a bandwidth cap — stops once that many
+  messages have been sent), both reported via
+  :attr:`EventRunner.stop_reason`;
+* the **uniform-unit equivalence guarantee**: with the default
+  ``unit`` latency model, :class:`EventRunner` is *differentially
+  identical* to the synchronous :class:`~repro.sim.Runner` — same outputs,
+  same :class:`~repro.sim.Metrics` (to the byte, including serialized
+  store payloads).  The event loop is ordered to make this a theorem of
+  the implementation, not an accident:
+
+  1. at each time ``t``, delivery events run before wake events (a
+     message sent at ``t - 1`` with delay 1 is readable at ``t``, exactly
+     like the sync mailbox);
+  2. within a time, unicast deliveries precede broadcast deliveries, each
+     in global send order (the sync runner's delivery phase drains the
+     unicast outbox columns before the broadcast records);
+  3. awake nodes step in node-index order, and sends are metered/resolved
+     only after *all* steps at ``t`` finish (so sleeping-model
+     ``awake_stamp`` checks see the complete post-step picture, as in the
+     sync delivery phase).
+
+Engine selection
+----------------
+Algorithms construct runners through :func:`make_runner`, which consults
+the ambient :func:`simulation_engine` context: outside any context (or
+under ``engine="round"``) it returns the synchronous :class:`Runner`;
+under ``engine="event"`` it returns an :class:`EventRunner` with the
+context's latency model.  :func:`latency_bound` exposes the model's
+worst-case per-edge delay so latency-aware protocols (e.g. Bellman-Ford's
+horizon) can scale their time budgets; under the synchronous engine it is
+1 and nothing changes.
+
+Latency model strings (the sweep-facing ``latency_model`` axis):
+
+* ``"unit"`` (aliases ``"sync"``, ``"uniform"``) — every edge has delay 1;
+  representable by both engines, and the canonical value recorded in tidy
+  rows of synchronous runs;
+* ``"uniform:K"`` — every edge has integer delay ``K`` (a time-dilated
+  synchronous execution);
+* ``"random:K"`` — per-edge delays drawn uniformly from ``1..K`` by a
+  seeded, label-keyed hash (deterministic per ``(seed, edge)`` across
+  processes and worker counts, symmetric per undirected edge).
+
+Sleeping-model note: in :data:`~repro.sim.Mode.SLEEPING` a message is
+delivered iff its receiver was awake *at the send time* (the paper's
+rule; under unit latency this is exactly the synchronous semantics).  The
+decision is made when the send resolves and is final — a receiver that
+halts while the message is in flight still counts it as delivered.
+"""
+
+from __future__ import annotations
+
+import random
+from contextlib import contextmanager
+from dataclasses import dataclass
+from heapq import heappop, heappush
+
+from ..graphs import Graph
+from ..graphs.indexed import IndexedGraph
+from .metrics import Metrics
+from .runner import _IDLE, _NONE, Context, Inbox, Mode, Runner, SimulationError
+
+__all__ = [
+    "LatencyModel",
+    "UniformLatency",
+    "RandomDelayLatency",
+    "EdgeTableLatency",
+    "parse_latency_model",
+    "canonical_latency",
+    "EngineConfig",
+    "simulation_engine",
+    "current_engine",
+    "latency_bound",
+    "make_runner",
+    "EventRunner",
+]
+
+
+# ----------------------------------------------------------------------
+# latency models
+# ----------------------------------------------------------------------
+class LatencyModel:
+    """Per-edge message delays: ``delay(port) >= 1`` virtual time units.
+
+    Subclasses define :attr:`name` (the canonical sweep-axis string
+    recorded in tidy rows), :attr:`bound` (the worst-case per-edge delay —
+    what :func:`latency_bound` reports to latency-aware protocols), and
+    either :attr:`uniform_delay` (every edge the same) or
+    :meth:`port_delays` (one integer per CSR port).
+    """
+
+    #: Canonical model string (``"unit"``, ``"uniform:3"``, ``"random:4"``).
+    name: str = "unit"
+    #: Worst-case per-edge delay (1 for the unit model).
+    bound: int = 1
+    #: The shared delay when the model is uniform, else ``None``.
+    uniform_delay: int | None = None
+
+    def port_delays(self, indexed: IndexedGraph) -> list[int]:
+        """Per-port delay table, parallel to ``indexed.nbr``."""
+        raise NotImplementedError
+
+
+def _check_delay(delay: int, what: str) -> int:
+    if not isinstance(delay, int) or isinstance(delay, bool) or delay < 1:
+        raise ValueError(f"{what} must be an integer >= 1, got {delay!r}")
+    return delay
+
+
+class UniformLatency(LatencyModel):
+    """Every edge has the same integer delay.
+
+    ``UniformLatency(1)`` is the ``unit`` model — the network the paper's
+    synchronous rounds describe, and the model under which
+    :class:`EventRunner` matches :class:`~repro.sim.Runner` exactly.
+    Larger delays give a time-dilated but otherwise synchronous-shaped
+    execution (useful as a sanity axis: metrics that should be
+    delay-invariant must not move).
+    """
+
+    def __init__(self, delay: int = 1) -> None:
+        self.uniform_delay = _check_delay(delay, "uniform latency delay")
+        self.bound = delay
+        self.name = "unit" if delay == 1 else f"uniform:{delay}"
+
+    def port_delays(self, indexed: IndexedGraph) -> list[int]:
+        return [self.uniform_delay] * len(indexed.nbr)
+
+
+class RandomDelayLatency(LatencyModel):
+    """Seeded per-edge random delays, uniform on ``1..max_delay``.
+
+    The delay of an edge is drawn from a :class:`random.Random` seeded by
+    the string ``"{seed}|{max_delay}|{u!r}|{v!r}"`` with the endpoint
+    reprs in sorted order — so delays are symmetric per undirected edge,
+    identical across processes and worker counts (string seeding hashes
+    deterministically), and independent of graph construction order.
+    Distinct sweep seeds draw distinct delay tables, which is what makes
+    ``latency_model="random:K"`` a real per-cell axis.
+    """
+
+    def __init__(self, max_delay: int, seed: int = 0) -> None:
+        self.bound = _check_delay(max_delay, "random latency max_delay")
+        self.seed = seed
+        self.name = "unit" if max_delay == 1 else f"random:{max_delay}"
+
+    def edge_delay(self, u: object, v: object) -> int:
+        lo, hi = sorted((repr(u), repr(v)))
+        rng = random.Random(f"{self.seed}|{self.bound}|{lo}|{hi}")
+        return rng.randint(1, self.bound)
+
+    def port_delays(self, indexed: IndexedGraph) -> list[int]:
+        if self.bound == 1:
+            return [1] * len(indexed.nbr)
+        labels = indexed.labels
+        delays: list[int] = []
+        # One draw per undirected edge, mirrored to both ports: compute on
+        # the canonical (sorted-repr) key so u->v and v->u always agree.
+        cache: dict[tuple, int] = {}
+        for i in range(indexed.num_nodes):
+            u = labels[i]
+            for k in range(indexed.indptr[i], indexed.indptr[i + 1]):
+                v = labels[indexed.nbr[k]]
+                key = tuple(sorted((repr(u), repr(v))))
+                delay = cache.get(key)
+                if delay is None:
+                    delay = cache[key] = self.edge_delay(u, v)
+                delays.append(delay)
+        return delays
+
+
+class EdgeTableLatency(LatencyModel):
+    """Explicit per-edge delays from a ``{(u, v): delay}`` table.
+
+    Lookups are symmetric (``(u, v)`` falls back to ``(v, u)``), and edges
+    absent from the table use ``default``.  This is the API-level model
+    for measured topologies (e.g. ping matrices); it has no sweep-string
+    form — build it in code and pass it to :func:`simulation_engine` or
+    :class:`EventRunner` directly.
+    """
+
+    def __init__(self, table: dict, default: int = 1) -> None:
+        self.table = dict(table)
+        self.default = _check_delay(default, "edge table default delay")
+        for key, delay in self.table.items():
+            _check_delay(delay, f"edge table delay for {key!r}")
+        self.bound = max([self.default, *self.table.values()]) if self.table else self.default
+        self.name = f"table:{len(self.table)}"
+        self.uniform_delay = None if self.table else self.default
+
+    def edge_delay(self, u: object, v: object) -> int:
+        delay = self.table.get((u, v))
+        if delay is None:
+            delay = self.table.get((v, u), self.default)
+        return delay
+
+    def port_delays(self, indexed: IndexedGraph) -> list[int]:
+        labels = indexed.labels
+        delays: list[int] = []
+        for i in range(indexed.num_nodes):
+            u = labels[i]
+            for k in range(indexed.indptr[i], indexed.indptr[i + 1]):
+                delays.append(self.edge_delay(u, labels[indexed.nbr[k]]))
+        return delays
+
+
+def parse_latency_model(spec: "str | LatencyModel", seed: int = 0) -> LatencyModel:
+    """Build a latency model from its sweep-axis string.
+
+    ``"unit"``/``"sync"``/``"uniform"`` -> unit latency;
+    ``"uniform:K"`` -> :class:`UniformLatency`; ``"random:K"`` ->
+    :class:`RandomDelayLatency` seeded with ``seed``.  A
+    :class:`LatencyModel` instance passes through unchanged.  Raises
+    :class:`ValueError` on anything else — callers surface it as a spec
+    or sweep error before any work runs.
+    """
+    if isinstance(spec, LatencyModel):
+        return spec
+    if not isinstance(spec, str):
+        raise ValueError(f"latency model must be a string or LatencyModel, got {spec!r}")
+    text = spec.strip().lower()
+    if text in ("unit", "sync", "uniform"):
+        return UniformLatency(1)
+    head, sep, tail = text.partition(":")
+    if sep:
+        try:
+            value = int(tail)
+        except ValueError:
+            raise ValueError(
+                f"latency model {spec!r}: expected an integer after ':'"
+            ) from None
+        if head == "uniform":
+            return UniformLatency(value)
+        if head in ("random", "random-delay"):
+            if value == 1:
+                return UniformLatency(1)
+            return RandomDelayLatency(value, seed=seed)
+    raise ValueError(
+        f"unknown latency model {spec!r}; options: 'unit', 'uniform:K', 'random:K'"
+    )
+
+
+def canonical_latency(spec: "str | LatencyModel") -> str:
+    """The canonical string of a latency model spec (``"unit"`` for sync).
+
+    This is the value recorded in tidy rows and hashed into scenario
+    digests — ``"sync"``, ``"uniform"``, ``"uniform:1"`` and ``"random:1"``
+    all canonicalize to ``"unit"``, encoding the equivalence guarantee:
+    a unit-latency event execution *is* the synchronous execution.
+    """
+    return parse_latency_model(spec, seed=0).name
+
+
+# ----------------------------------------------------------------------
+# engine selection
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class EngineConfig:
+    """The ambient simulation engine: backend kind plus network model."""
+
+    engine: str  # "round" | "event"
+    latency: LatencyModel
+
+
+_ENGINE_STACK: list[EngineConfig] = []
+
+
+def current_engine() -> EngineConfig | None:
+    """The innermost active :func:`simulation_engine` config, or ``None``."""
+    return _ENGINE_STACK[-1] if _ENGINE_STACK else None
+
+
+def latency_bound() -> int:
+    """Worst-case per-edge delay of the ambient engine (1 when synchronous).
+
+    Latency-aware protocols use this to scale their time budgets — e.g.
+    Bellman-Ford's ``n``-round horizon becomes ``n * latency_bound()``
+    so estimates can cross any shortest path under the slowest edges.
+    """
+    config = current_engine()
+    return 1 if config is None else config.latency.bound
+
+
+@contextmanager
+def simulation_engine(
+    engine: str = "event",
+    latency: "str | LatencyModel" = "unit",
+    seed: int = 0,
+):
+    """Select the simulation engine for all :func:`make_runner` calls inside.
+
+    ``engine="event"`` runs protocols on :class:`EventRunner` under the
+    given ``latency`` model (a string axis value or a
+    :class:`LatencyModel`); ``engine="round"`` pins the synchronous
+    :class:`~repro.sim.Runner` and therefore requires the unit model.
+    ``seed`` feeds seeded models (``random:K``).  Contexts nest; the
+    innermost wins.
+    """
+    if engine not in ("round", "event"):
+        raise ValueError(f"unknown engine {engine!r}; options: 'round', 'event'")
+    model = parse_latency_model(latency, seed=seed)
+    if engine == "round" and model.name != "unit":
+        raise ValueError(
+            f"the synchronous 'round' engine cannot express latency model "
+            f"{model.name!r}; use engine='event'"
+        )
+    config = EngineConfig(engine, model)
+    _ENGINE_STACK.append(config)
+    try:
+        yield config
+    finally:
+        _ENGINE_STACK.pop()
+
+
+def make_runner(
+    graph: "Graph | IndexedGraph",
+    algorithms: dict,
+    mode: Mode = Mode.CONGEST,
+    **kwargs,
+):
+    """Construct the ambient engine's runner (the library-wide entry point).
+
+    Outside any :func:`simulation_engine` context — or under
+    ``engine="round"`` — this is exactly ``Runner(graph, algorithms,
+    mode, **kwargs)``; under ``engine="event"`` it is an
+    :class:`EventRunner` carrying the context's latency model.  All
+    library algorithms build their runners through this factory, which is
+    what lets one sweep flag re-run the whole catalog on the event core.
+    """
+    config = current_engine()
+    if config is None or config.engine == "round":
+        return Runner(graph, algorithms, mode, **kwargs)
+    return EventRunner(graph, algorithms, mode, latency=config.latency, **kwargs)
+
+
+# ----------------------------------------------------------------------
+# the event-driven runner
+# ----------------------------------------------------------------------
+class _Slot:
+    """All events scheduled for one virtual time, in processing order.
+
+    ``unicasts`` and ``bcasts`` hold delivery events as ``(port_id,
+    payload)`` pairs appended in global send order; ``wakes`` holds node
+    indices (filtered against ``next_wake`` at processing time, exactly
+    like the sync runner's round buckets).  Keeping the three kinds in
+    separate ordered lists realizes the ``(time, kind, seq)`` event order
+    without a per-event heap entry.
+    """
+
+    __slots__ = ("unicasts", "bcasts", "wakes")
+
+    def __init__(self) -> None:
+        self.unicasts: list = []
+        self.bcasts: list = []
+        self.wakes: list[int] = []
+
+
+class EventRunner:
+    """Asynchronous executor: the :class:`~repro.sim.Runner` semantics on a
+    virtual-time event heap with per-edge latency.
+
+    Drives the same :class:`~repro.sim.NodeAlgorithm` /
+    :class:`~repro.sim.Context` / :class:`~repro.sim.Inbox` API as the
+    synchronous runner — algorithms cannot tell which engine they run on
+    except through message timing.  ``ctx.round`` is the node's current
+    *virtual time*; ``ctx.wake_at`` / ``ctx.sleep_for`` schedule in the
+    same currency.  Under the default unit latency model the execution is
+    differentially identical to ``Runner`` (see the module docstring for
+    the ordering argument).
+
+    Parameters beyond the :class:`~repro.sim.Runner` set
+    -----------------------------------------------------
+    latency:
+        A :class:`LatencyModel` or axis string (default ``"unit"``).
+    max_time:
+        Duration stopping: events at virtual times beyond this horizon
+        are not processed; the run stops gracefully with
+        ``stop_reason == "max_time"``.  (``max_rounds`` stays the *hard*
+        budget — exceeding it raises, as in the sync runner.)
+    message_budget:
+        Bandwidth stopping: once this many messages have been sent the
+        run stops gracefully with ``stop_reason == "message_budget"``
+        (the in-flight batch still resolves — budgets bound work, they do
+        not tear messages).
+
+    ``edge_capacity`` is enforced per *send time*: at most that many
+    messages may enter one directed edge per virtual time unit — the
+    event-core reading of per-edge bandwidth, which degenerates to the
+    paper's per-round capacity under unit latency.
+    """
+
+    def __init__(
+        self,
+        graph: "Graph | IndexedGraph",
+        algorithms: dict,
+        mode: Mode = Mode.CONGEST,
+        *,
+        latency: "str | LatencyModel | None" = None,
+        round_width: int = 1,
+        edge_capacity: int = 1,
+        metrics: Metrics | None = None,
+        max_rounds: int = 10_000_000,
+        max_time: int | None = None,
+        message_budget: int | None = None,
+    ) -> None:
+        indexed = graph if isinstance(graph, IndexedGraph) else IndexedGraph.of(graph)
+        try:
+            algorithms_by_index = [algorithms[label] for label in indexed.labels]
+        except KeyError:
+            missing = [u for u in indexed.labels if u not in algorithms]
+            raise SimulationError(f"nodes without an algorithm: {missing[:5]}") from None
+        self.graph = graph
+        self.indexed = indexed
+        self.algorithms = algorithms
+        self.mode = mode
+        self.latency = parse_latency_model(latency if latency is not None else "unit")
+        self.round_width = round_width
+        self.edge_capacity = edge_capacity
+        self.metrics = metrics if metrics is not None else Metrics()
+        self.max_rounds = max_rounds
+        self.max_time = max_time
+        self.message_budget = message_budget
+        #: ``None`` (ran to quiescence), ``"max_time"``, or ``"message_budget"``.
+        self.stop_reason: str | None = None
+        self._algorithms_by_index = algorithms_by_index
+        # Private engine state — the event runner never touches the
+        # IndexedGraph engine pool (that slot belongs to the sync Runner's
+        # checkout protocol).
+        views = indexed.node_views()
+        self._contexts = [
+            Context(self, label, i, views[i]) for i, label in enumerate(indexed.labels)
+        ]
+        self._inboxes = [Inbox() for _ in range(indexed.num_nodes)]
+        self._edge_load = [0] * len(indexed.nbr)
+        # Columnar outboxes shared with Context.send/broadcast — identical
+        # layout to the sync runner so Context needs no changes.
+        self._out_ports: list[int] = []
+        self._out_payloads: list[object] = []
+        self._bcast_src: list[int] = []
+        self._bcast_payloads: list[object] = []
+        self._touched: list[int] = []
+
+    # ------------------------------------------------------------------
+    def run(self) -> Metrics:
+        """Process events until quiescence or a stopping condition."""
+        indexed = self.indexed
+        n = indexed.num_nodes
+        labels = indexed.labels
+        nbr = indexed.nbr
+        indptr = indexed.indptr
+        port_src = indexed.port_src_labels()
+        contexts = self._contexts
+        on_rounds = [alg.on_round for alg in self._algorithms_by_index]
+        inboxes = self._inboxes
+        out_ports = self._out_ports
+        out_payloads = self._out_payloads
+        bcast_src = self._bcast_src
+        bcast_payloads = self._bcast_payloads
+        edge_load = self._edge_load
+        touched = self._touched
+        metrics = self.metrics
+        max_rounds = self.max_rounds
+        max_time = self.max_time
+        message_budget = self.message_budget
+        sleeping = self.mode is Mode.SLEEPING
+        # Mirror the sync runner's contract: only metric *subclasses* see
+        # the in-phase round stamp (plain Metrics must come out of either
+        # engine with byte-identical serialized state, current_round
+        # included).
+        fast = type(metrics) is Metrics
+        uniform = self.latency.uniform_delay
+        delays = None if uniform is not None else self.latency.port_delays(indexed)
+
+        heap: list[int] = []
+        slots: dict[int, _Slot] = {}
+
+        def slot_for(time: int) -> _Slot:
+            slot = slots.get(time)
+            if slot is None:
+                slot = slots[time] = _Slot()
+                heappush(heap, time)
+            return slot
+
+        next_wake = [0] * n
+        awake_stamp = [-1] * n if sleeping else None
+        if n:
+            first = _Slot()
+            first.wakes = list(range(n))
+            slots[0] = first
+            heap.append(0)
+        last_step = -1
+        messages_sent = 0
+        stop_reason: str | None = None
+
+        while heap:
+            t = heappop(heap)
+            if max_time is not None and t > max_time:
+                stop_reason = "max_time"
+                break
+            slot = slots.pop(t)
+
+            # --- deliveries: unicasts, then broadcasts, in send order ----
+            for port_id, payload in slot.unicasts:
+                dst_i = nbr[port_id]
+                if contexts[dst_i]._halted:
+                    continue
+                box = inboxes[dst_i]
+                box.senders.append(port_src[port_id])
+                box.payloads.append(payload)
+                if not sleeping:
+                    cur = next_wake[dst_i]
+                    if cur == _NONE or cur > t:
+                        next_wake[dst_i] = t
+                        slot.wakes.append(dst_i)
+            for port_id, payload in slot.bcasts:
+                dst_i = nbr[port_id]
+                if contexts[dst_i]._halted:
+                    continue
+                box = inboxes[dst_i]
+                box.senders.append(port_src[port_id])
+                box.payloads.append(payload)
+                if not sleeping:
+                    cur = next_wake[dst_i]
+                    if cur == _NONE or cur > t:
+                        next_wake[dst_i] = t
+                        slot.wakes.append(dst_i)
+
+            # --- wakes: filter stale entries, step in node-index order ---
+            awake: list[int] = []
+            for i in slot.wakes:
+                if next_wake[i] == t:
+                    next_wake[i] = _NONE
+                    awake.append(i)
+            if awake:
+                if t >= max_rounds:
+                    raise SimulationError(f"exceeded max_rounds={max_rounds}")
+                last_step = t
+                awake.sort()
+                if not fast:
+                    metrics.current_round = t
+                nxt = t + 1
+                for i in awake:
+                    if sleeping:
+                        awake_stamp[i] = t
+                    ctx = contexts[i]
+                    ctx.round = t
+                    ctx._next_wake = None
+                    box = inboxes[i]
+                    on_rounds[i](ctx, box)
+                    if box.senders:
+                        box.senders.clear()
+                        box.payloads.clear()
+                    wake = ctx._next_wake
+                    if ctx._halted or wake is _IDLE:
+                        continue
+                    s = wake if wake is not None else nxt
+                    next_wake[i] = s
+                    slot_for(s).wakes.append(i)
+                for i in awake:
+                    metrics.record_awake(labels[i], self.round_width)
+
+            # --- send resolution: meter, decide delivery, schedule -------
+            if out_ports or bcast_src:
+                if not fast:
+                    metrics.current_round = t
+                for port_id, payload in zip(out_ports, out_payloads):
+                    dst_i = nbr[port_id]
+                    messages_sent += 1
+                    if sleeping:
+                        delivered = (
+                            awake_stamp[dst_i] == t and not contexts[dst_i]._halted
+                        )
+                    else:
+                        delivered = True
+                    metrics.record_send(port_src[port_id], labels[dst_i], delivered)
+                    if delivered and not contexts[dst_i]._halted:
+                        arrival = t + (uniform if uniform is not None else delays[port_id])
+                        slot_for(arrival).unicasts.append((port_id, payload))
+                for src_i, payload in zip(bcast_src, bcast_payloads):
+                    sender = labels[src_i]
+                    for port_id in range(indptr[src_i], indptr[src_i + 1]):
+                        dst_i = nbr[port_id]
+                        messages_sent += 1
+                        if sleeping:
+                            delivered = (
+                                awake_stamp[dst_i] == t
+                                and not contexts[dst_i]._halted
+                            )
+                        else:
+                            delivered = True
+                        metrics.record_send(sender, labels[dst_i], delivered)
+                        if delivered and not contexts[dst_i]._halted:
+                            arrival = t + (
+                                uniform if uniform is not None else delays[port_id]
+                            )
+                            slot_for(arrival).bcasts.append((port_id, payload))
+                out_ports.clear()
+                out_payloads.clear()
+                bcast_src.clear()
+                bcast_payloads.clear()
+                for port_id in touched:
+                    edge_load[port_id] = 0
+                touched.clear()
+                if message_budget is not None and messages_sent >= message_budget:
+                    stop_reason = "message_budget"
+                    break
+
+        metrics.record_rounds((last_step + 1) * self.round_width)
+        self.stop_reason = stop_reason
+        return metrics

@@ -68,6 +68,7 @@ from ..api.algorithms import (
 )
 from ..api.drivers import BUILTIN_ALGORITHMS, DriverError  # noqa: F401 (registers built-ins)
 from ..graphs import generators
+from .events import canonical_latency, simulation_engine
 from .metrics import Metrics
 
 __all__ = [
@@ -99,6 +100,7 @@ ROW_FIELDS = (
     "seed",
     "size",
     "params_digest",
+    "latency_model",
     "rounds",
     "messages",
     "lost_messages",
@@ -122,6 +124,13 @@ class Scenario:
     seed)`` cell is a distinct instance.  ``params`` is a tuple of ``(key,
     value)`` pairs forwarded to the driver (kept as a tuple so scenarios
     stay hashable and picklable).
+
+    ``latency_model`` is the network model the cell runs under (see
+    :func:`repro.sim.parse_latency_model` for the grammar).  The default
+    ``"unit"`` is the paper's synchronous network and runs on the
+    synchronous engine; anything else runs on the event engine with
+    per-edge delays seeded by the cell's sweep seed, making latency a real
+    sweep axis — same protocol, same instance, different network.
     """
 
     name: str
@@ -130,6 +139,7 @@ class Scenario:
     max_weight: int = 1
     params: tuple = ()
     description: str = ""
+    latency_model: str = "unit"
 
     def build_graph(self, n: int, seed: int):
         return generators.make_family(self.family, n, self.max_weight, seed=seed)
@@ -174,31 +184,46 @@ def register_scenario(scenario: Scenario) -> Scenario:
         check_params(spec, dict(scenario.params))
     except ValueError as exc:
         raise SweepError(f"scenario {scenario.name!r}: {exc}") from None
+    try:
+        canonical_latency(scenario.latency_model)
+    except ValueError as exc:
+        raise SweepError(f"scenario {scenario.name!r}: {exc}") from None
     _SCENARIOS[scenario.name] = scenario
     return scenario
 
 
-def scenario_digest(scenario: Scenario) -> str:
+def scenario_digest(scenario: Scenario, latency_model: str | None = None) -> str:
     """Short canonical digest of everything that determines a cell's result.
 
-    Hashes the scenario *definition* — family, algorithm, ``max_weight``
-    and the full ``params`` mapping — as canonical JSON.  The digest rides
-    in every tidy row (``params_digest``) and in the resume key
-    (:func:`repro.api.cell_key`), so a store written under one definition
-    of a scenario name can never silently satisfy a resume under another:
-    changed params produce a different key and the stale cells re-run.
+    Hashes the scenario *definition* — family, algorithm, ``max_weight``,
+    the full ``params`` mapping, and (when not ``"unit"``) the latency
+    model — as canonical JSON.  The digest rides in every tidy row
+    (``params_digest``) and in the resume key (:func:`repro.api.cell_key`),
+    so a store written under one definition of a scenario name can never
+    silently satisfy a resume under another: changed params produce a
+    different key and the stale cells re-run.
+
+    ``latency_model`` overrides the scenario's own model (the sweep-level
+    axis).  The canonical ``"unit"`` model is *omitted* from the payload —
+    unit-latency digests are identical to pre-latency ones, so existing
+    stores keep resuming — and the executing engine is never hashed:
+    under unit latency both engines produce the same rows by construction,
+    so engine choice is provenance, not identity.
     """
-    payload = json.dumps(
-        {
-            "family": scenario.family,
-            "algorithm": scenario.algorithm,
-            "max_weight": scenario.max_weight,
-            # dict() accepts both the canonical pair-tuple and a plain
-            # mapping, like every other consumer of scenario.params.
-            "params": {str(k): v for k, v in dict(scenario.params).items()},
-        },
-        sort_keys=True,
+    effective = canonical_latency(
+        latency_model if latency_model is not None else scenario.latency_model
     )
+    payload_dict = {
+        "family": scenario.family,
+        "algorithm": scenario.algorithm,
+        "max_weight": scenario.max_weight,
+        # dict() accepts both the canonical pair-tuple and a plain
+        # mapping, like every other consumer of scenario.params.
+        "params": {str(k): v for k, v in dict(scenario.params).items()},
+    }
+    if effective != "unit":
+        payload_dict["latency_model"] = effective
+    payload = json.dumps(payload_dict, sort_keys=True)
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:12]
 
 
@@ -264,6 +289,19 @@ for _scenario in (
              description="from-scratch low-energy BFS bootstrap on random trees"),
     Scenario("energy-cssp/er", "er", "energy-cssp", max_weight=4,
              description="energy-model weighted CSSP on weighted random graphs"),
+    # Latency-heterogeneous axis: the same Bellman-Ford workload under
+    # asynchronous networks (event engine).  Bellman-Ford is delay-tolerant
+    # — relaxation is monotone, so it converges to correct distances under
+    # any per-edge delays once its horizon scales by the latency bound
+    # (see repro.baselines.bellman_ford) — which makes it the honest
+    # catalog entry for the latency axis; round-timing-dependent protocols
+    # (BFS layers, SSSP phases) are *not* registered heterogeneous.
+    Scenario("bellman-ford/er@delay4", "er", "bellman-ford", max_weight=9,
+             latency_model="random:4",
+             description="Bellman-Ford under seeded random per-edge delays in 1..4"),
+    Scenario("bellman-ford/grid@stretch3", "grid", "bellman-ford", max_weight=9,
+             latency_model="uniform:3",
+             description="Bellman-Ford under uniformly tripled edge latency"),
 ):
     register_scenario(_scenario)
 
@@ -298,8 +336,22 @@ def _cached_graph(scenario: Scenario, n: int, seed: int):
     return graph
 
 
-def _run_cell(name: str, n: int, seed: int) -> tuple[dict, Metrics]:
+def _run_cell(
+    name: str,
+    n: int,
+    seed: int,
+    engine: str | None = None,
+    latency_model: str | None = None,
+) -> tuple[dict, Metrics]:
     """Execute one cell; return its tidy row and the full metrics object.
+
+    ``latency_model`` overrides the scenario's own network model (the
+    sweep-level axis) and ``engine`` pins the executor backend; by default
+    unit-latency cells run on the synchronous round engine and everything
+    else on the event engine.  Seeded latency models draw their per-edge
+    delays from the cell's sweep seed.  The engine never appears in the
+    row — under unit latency both engines are differentially identical,
+    so it is provenance, not part of the result's identity.
 
     A driver may return a dict of scenario-specific quality columns (MST
     weight, cover degree/radius, ``preprocess_*`` costs, ...); they are
@@ -307,11 +359,27 @@ def _run_cell(name: str, n: int, seed: int) -> tuple[dict, Metrics]:
     order so fresh and store-reloaded rows agree byte-for-byte.
     """
     scenario = get_scenario(name)
+    effective_latency = (
+        latency_model if latency_model is not None else scenario.latency_model
+    )
+    try:
+        canonical = canonical_latency(effective_latency)
+        effective_engine = engine or ("round" if canonical == "unit" else "event")
+        if effective_engine == "round" and canonical != "unit":
+            raise ValueError(
+                f"the synchronous 'round' engine cannot express latency model "
+                f"{canonical!r}; use engine='event'"
+            )
+    except ValueError as exc:
+        # An unparseable latency string or an engine/latency mismatch is a
+        # configuration error, reported like any other bad sweep input.
+        raise SweepError(f"cell {name!r}: {exc}") from exc
     graph = _cached_graph(scenario, n, seed)
     metrics = Metrics()
     driver = get_algorithm_spec(scenario.algorithm).resolve()
     try:
-        extras = driver(graph, seed, metrics, **dict(scenario.params))
+        with simulation_engine(effective_engine, effective_latency, seed=seed):
+            extras = driver(graph, seed, metrics, **dict(scenario.params))
     except DriverError as exc:
         raise SweepError(str(exc)) from exc
     summary = metrics.summary()
@@ -328,7 +396,8 @@ def _run_cell(name: str, n: int, seed: int) -> tuple[dict, Metrics]:
         # every resume lookup miss on such families and silently re-run
         # their cells (see repro.api.cell_key).
         "size": n,
-        "params_digest": scenario_digest(scenario),
+        "params_digest": scenario_digest(scenario, latency_model=effective_latency),
+        "latency_model": canonical,
         "rounds": summary["rounds"],
         "messages": summary["messages"],
         "lost_messages": summary["lost_messages"],
@@ -351,19 +420,30 @@ def _run_cell(name: str, n: int, seed: int) -> tuple[dict, Metrics]:
     return row, metrics
 
 
-def run_scenario(name: str, n: int, seed: int = 0) -> dict:
+def run_scenario(
+    name: str,
+    n: int,
+    seed: int = 0,
+    engine: str | None = None,
+    latency_model: str | None = None,
+) -> dict:
     """Run one (scenario, size, seed) cell and return its tidy row.
 
-    The graph instance comes from the per-process cache, so scenarios that
-    share a family/size/seed cell reuse one graph (and its indexed view).
-    Drivers must not mutate it — the library-wide append-only convention.
+    ``engine``/``latency_model`` override the scenario's defaults (see
+    :func:`_run_cell`).  The graph instance comes from the per-process
+    cache, so scenarios that share a family/size/seed cell reuse one graph
+    (and its indexed view).  Drivers must not mutate it — the library-wide
+    append-only convention.
     """
-    row, _ = _run_cell(name, n, seed)
+    row, _ = _run_cell(name, n, seed, engine=engine, latency_model=latency_model)
     return row
 
 
 def _run_cell_group(
-    group: list[tuple[int, str, int, int]], with_metrics: bool = True
+    group: list[tuple[int, str, int, int]],
+    with_metrics: bool = True,
+    engine: str | None = None,
+    latency_model: str | None = None,
 ) -> list[tuple[int, dict, dict | None]]:
     """Run one locality group of ``(index, name, n, seed)`` tasks in order.
 
@@ -372,15 +452,25 @@ def _run_cell_group(
     :class:`~repro.api.ResultSet` without re-running the cell.
     ``with_metrics=False`` (in-memory stores, which discard them) skips the
     O(E log E) serialization and keeps the worker pipes lean.
+    ``engine``/``latency_model`` are the sweep-level overrides, applied
+    uniformly to every cell of the group.
     """
     out = []
     for index, name, n, seed in group:
-        row, metrics = _run_cell(name, n, seed)
+        row, metrics = _run_cell(
+            name, n, seed, engine=engine, latency_model=latency_model
+        )
         out.append((index, row, metrics.to_dict() if with_metrics else None))
     return out
 
 
-def _worker_loop(task_pipe, result_pipe, with_metrics: bool = True) -> None:
+def _worker_loop(
+    task_pipe,
+    result_pipe,
+    with_metrics: bool = True,
+    engine: str | None = None,
+    latency_model: str | None = None,
+) -> None:
     """Supervised-executor worker: serve dispatched cell groups until told to stop.
 
     The group-level task protocol of :func:`repro.api.run_sweep_spec`'s
@@ -407,7 +497,12 @@ def _worker_loop(task_pipe, result_pipe, with_metrics: bool = True) -> None:
         if group is None:
             return
         try:
-            result = _run_cell_group(group, with_metrics=with_metrics)
+            result = _run_cell_group(
+                group,
+                with_metrics=with_metrics,
+                engine=engine,
+                latency_model=latency_model,
+            )
         except (KeyboardInterrupt, SystemExit):
             raise  # die silently; the supervisor sees a dead worker
         except BaseException as exc:  # noqa: BLE001 — must cross the pipe as data

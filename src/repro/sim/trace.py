@@ -53,14 +53,22 @@ class TracingMetrics(Metrics):
         return busiest, self.messages_by_round[busiest]
 
     def awake_fraction_profile(self, num_nodes: int, buckets: int = 10) -> list[float]:
-        """Average awake fraction per time bucket across the execution."""
+        """Average awake fraction per time bucket across the execution.
+
+        Every round lands in exactly one bucket: the last bucket extends to
+        the horizon, so the ``horizon % buckets`` tail rounds are averaged
+        into it rather than silently dropped (e.g. horizon 25 over 10
+        buckets gives nine 2-round buckets and one 7-round tail bucket —
+        rounds 18..24 all counted).
+        """
         if not self.awake_by_round or num_nodes == 0:
             return [0.0] * buckets
         horizon = max(self.awake_by_round) + 1
         width = max(1, horizon // buckets)
         out = []
         for b in range(buckets):
-            lo, hi = b * width, min((b + 1) * width, horizon)
+            lo = b * width
+            hi = horizon if b == buckets - 1 else min((b + 1) * width, horizon)
             if lo >= hi:
                 out.append(0.0)
                 continue

@@ -65,6 +65,40 @@ class TestPowerFits:
         assert out["verdict"] == "power"
         assert out["power"].exponent == pytest.approx(1.0, abs=0.01)
 
+    def test_non_positive_x_is_clamped_not_fatal(self):
+        # A zero/negative size used to raise `math domain error` out of
+        # fit_power_law (and ValueError out of fit_polylog's log2) and
+        # crash report generation; x is now clamped exactly like y.
+        for fitter in (fit_power_law, fit_polylog):
+            fit = fitter([0, 16, 32, 64], [1, 2, 3, 4])
+            assert not fit.degenerate
+            fit = fitter([-5, 16, 32, 64], [1, 2, 3, 4])
+            assert not fit.degenerate
+
+    def test_polylog_handles_x_at_or_below_one(self):
+        # log2(1) == 0 and log2(x<1) < 0: both need the inner clamp even
+        # though the sizes are "positive data".
+        fit = fit_polylog([1, 2, 4, 8], [1, 2, 3, 4])
+        assert not fit.degenerate
+
+    @pytest.mark.parametrize("fitter", [fit_power_law, fit_polylog])
+    def test_degenerate_series_returns_sentinel(self, fitter):
+        # Fewer than two points, or no two distinct sizes: a degenerate
+        # sentinel (NaN fit, r2=0), never a raised ValueError.
+        for xs, ys in ([[16], [3]], [[16, 16, 16], [1, 2, 3]], [[], []]):
+            fit = fitter(xs, ys)
+            assert fit.degenerate
+            assert math.isnan(fit.exponent) and math.isnan(fit.coefficient)
+            assert fit.r2 == 0.0
+
+    def test_healthy_fit_is_not_degenerate(self):
+        assert not fit_power_law([2, 4, 8], [2, 4, 8]).degenerate
+
+    def test_compare_models_degenerate_verdict(self):
+        out = compare_models([16, 16], [1, 2])
+        assert out["verdict"] == "degenerate"
+        assert out["power"].degenerate and out["polylog"].degenerate
+
     def test_small_power_counts_as_polylog(self):
         xs = [8, 16, 32, 64]
         ys = [x**0.2 for x in xs]

@@ -109,6 +109,36 @@ class TestTracingMetrics:
         assert len(profile) == 5
         assert all(0 <= x <= 1 for x in profile)
 
+    def test_awake_profile_last_bucket_extends_to_horizon(self):
+        # Horizon 25 over 10 buckets: width 2, so rounds 20..24 used to
+        # land in NO bucket and activity there silently vanished from the
+        # profile.  The last bucket must extend to the horizon.
+        t = TracingMetrics()
+        t.awake_by_round[24] = 3  # all the activity in the dropped tail
+        profile = t.awake_fraction_profile(num_nodes=3, buckets=10)
+        assert len(profile) == 10
+        # Last bucket covers rounds 18..24 (7 rounds): 3 awake / (7 * 3).
+        assert profile[9] == pytest.approx(3 / (7 * 3))
+        assert sum(profile) > 0  # the tail is no longer dropped
+
+    def test_awake_profile_conserves_total_awake_rounds(self):
+        # Every round lands in exactly one bucket: reconstructing the
+        # total from per-bucket averages must give back the exact count,
+        # for horizons that do and do not divide evenly.
+        for horizon, buckets in ((25, 10), (20, 10), (7, 10), (30, 4)):
+            t = TracingMetrics()
+            for r in range(horizon):
+                t.awake_by_round[r] = 1 + (r % 3)
+            profile = t.awake_fraction_profile(num_nodes=5, buckets=buckets)
+            width = max(1, horizon // buckets)
+            total = 0.0
+            for b, fraction in enumerate(profile):
+                lo = b * width
+                hi = horizon if b == buckets - 1 else min((b + 1) * width, horizon)
+                if lo < hi:
+                    total += fraction * (hi - lo) * 5
+            assert total == pytest.approx(sum(t.awake_by_round.values()))
+
     def test_edge_profile(self):
         g = graphs.path_graph(4)
         t = TracingMetrics()
