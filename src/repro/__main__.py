@@ -117,6 +117,8 @@ def _scenario_catalog() -> list[dict]:
             "oracle": spec.oracle,
             "max_weight": scenario.max_weight,
             "latency_model": scenario.latency_model,
+            "fault_model": scenario.fault_model,
+            "fault_tolerance": list(spec.fault_tolerance),
             "params": dict(scenario.params),
             "param_schema": [list(pair) for pair in spec.param_schema],
             "description": scenario.description or spec.description,
@@ -162,9 +164,10 @@ def _cmd_info(args) -> int:
         params = "".join(
             f" {name}:{type_name}" for name, type_name in entry["param_schema"]
         )
+        tolerance = ",".join(entry["fault_tolerance"]) or "-"
         print(
-            f"  {entry['name']:26s} {entry['model']:9s} "
-            f"oracle={entry['oracle'] or '-'}{params}"
+            f"  {entry['name']:30s} {entry['model']:9s} "
+            f"oracle={entry['oracle'] or '-'} faults={tolerance}{params}"
         )
     return 0
 
@@ -207,7 +210,11 @@ def _cmd_sweep(args, parser) -> int:
             print(json.dumps(_scenario_catalog(), indent=2))
             return 0
         for entry in _scenario_catalog():
-            print(f"{entry['name']:26s} {entry['model']:9s} {entry['description']}")
+            tolerance = ",".join(entry["fault_tolerance"]) or "-"
+            print(
+                f"{entry['name']:30s} {entry['model']:9s} "
+                f"faults={tolerance:15s} {entry['description']}"
+            )
         return 0
 
     if args.smoke:
@@ -233,6 +240,8 @@ def _cmd_sweep(args, parser) -> int:
             task_timeout=args.task_timeout,
             latency_model=args.latency_model,
             engine=args.engine,
+            fault_model=args.fault_model,
+            force_faults=args.force_faults,
         )
     except SpecError as exc:
         parser.error(str(exc))
@@ -444,6 +453,13 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--engine", choices=("round", "event"),
                        help="simulation backend (default: round for unit latency, "
                        "event otherwise; 'event' on unit latency is the differential check)")
+    sweep.add_argument("--fault-model", metavar="MODEL",
+                       help="seeded fault plane for every cell: none, drop:P, dup:P, "
+                       "crash:K@R[+restart:D], or +-compositions (default: each "
+                       "scenario's own plane); non-tolerant scenarios are refused")
+    sweep.add_argument("--force-faults", action="store_true", default=None,
+                       help="inject --fault-model into explicitly named scenarios even "
+                       "when their algorithms declare no tolerance (watch them break)")
     sweep.add_argument("--report", metavar="PATH", help="write a Markdown report instead of printing")
     sweep.add_argument("--fit", action="store_true", help="append per-scenario power-law fits")
     sweep.add_argument("--smoke", action="store_true", help="fixed tiny CI sweep (pins the selectors)")

@@ -83,8 +83,12 @@ class AlgorithmSpec:
     ``model`` records the execution model the costs are metered in
     (``"congest"`` or ``"sleeping"``), and ``param_schema`` is a tuple of
     ``(param_name, type_name)`` pairs documenting the driver's keyword
-    parameters.  The callable is resolved lazily and cached per process, so
-    forked sweep workers resolve it independently via a plain import.
+    parameters.  ``fault_tolerance`` declares which fault kinds
+    (``"drop"``, ``"dup"``, ``"crash"`` — see :mod:`repro.sim.faults`) the
+    algorithm provably survives; the sweep layer refuses to inject other
+    kinds without an explicit override.  The callable is resolved lazily
+    and cached per process, so forked sweep workers resolve it
+    independently via a plain import.
     """
 
     name: str
@@ -93,6 +97,7 @@ class AlgorithmSpec:
     oracle: str | None = None
     param_schema: tuple = ()
     description: str = ""
+    fault_tolerance: tuple = ()
     # Escape hatch for in-process registration (tests, notebooks): a direct
     # callable wins over entry_point but cannot be serialized or re-imported.
     driver: Callable | None = field(default=None, compare=False, repr=False)
@@ -132,6 +137,12 @@ class AlgorithmSpec:
                     f"algorithm {self.name!r}: param {param!r} has unknown "
                     f"type {type_name!r} (options: {sorted(PARAM_TYPES)})"
                 )
+        for kind in self.fault_tolerance:
+            if kind not in ("drop", "dup", "crash"):
+                raise ValueError(
+                    f"algorithm {self.name!r}: unknown fault kind {kind!r} "
+                    f"in fault_tolerance (options: ['crash', 'drop', 'dup'])"
+                )
         return self
 
     def validate(self) -> "AlgorithmSpec":
@@ -166,12 +177,14 @@ class AlgorithmSpec:
             "oracle": self.oracle,
             "param_schema": [list(pair) for pair in self.param_schema],
             "description": self.description,
+            "fault_tolerance": list(self.fault_tolerance),
         }
 
     @classmethod
     def from_dict(cls, data: dict) -> "AlgorithmSpec":
         data = dict(data)
         data["param_schema"] = tuple(tuple(pair) for pair in data.get("param_schema", ()))
+        data["fault_tolerance"] = tuple(data.get("fault_tolerance", ()))
         return cls(**data)
 
 

@@ -143,6 +143,7 @@ class _Worker:
         with_metrics: bool,
         engine: str | None = None,
         latency_model: str | None = None,
+        fault_model: str | None = None,
     ):
         from ..sim import experiments
 
@@ -152,7 +153,10 @@ class _Worker:
         self.deadline: float | None = None
         self.process = context.Process(
             target=experiments._worker_loop,
-            args=(task_reader, result_writer, with_metrics, engine, latency_model),
+            args=(
+                task_reader, result_writer, with_metrics, engine, latency_model,
+                fault_model,
+            ),
             daemon=True,
         )
         self.process.start()
@@ -195,6 +199,7 @@ def _run_groups_supervised(
     fail: Callable[[list, int, str], None],
     engine: str | None = None,
     latency_model: str | None = None,
+    fault_model: str | None = None,
 ) -> None:
     """Dispatch locality groups to supervised fork workers until all settle.
 
@@ -238,7 +243,9 @@ def _run_groups_supervised(
             pool = retained
             target = min(workers, len(pending) + sum(w.group_id is not None for w in pool))
             while sum(w.process.is_alive() for w in pool) < target:
-                pool.append(_Worker(context, with_metrics, engine, latency_model))
+                pool.append(
+                    _Worker(context, with_metrics, engine, latency_model, fault_model)
+                )
             for worker in pool:
                 if worker.group_id is None and pending and worker.process.is_alive():
                     group_id = pending.pop()
@@ -359,6 +366,39 @@ def run_sweep_spec(
         list(spec.scenarios) if spec.scenarios is not None
         else experiments.list_scenarios()
     )
+    # The fault-tolerance gate: never inject fault kinds an algorithm does
+    # not declare surviving (AlgorithmSpec.fault_tolerance).  A catalog-wide
+    # sweep auto-restricts to the tolerant scenarios (the CI faulted-smoke
+    # contract); explicitly named non-tolerant scenarios are an error —
+    # their oracles *will* fire — unless force_faults opts in.
+    if spec.fault_model is not None:
+        from ..sim.faults import parse_fault_model
+
+        plane = parse_fault_model(spec.fault_model)
+        fault_kinds = plane.kinds if plane is not None else frozenset()
+        if fault_kinds:
+            from .algorithms import get_algorithm_spec
+
+            def _tolerant(name: str) -> bool:
+                algo = get_algorithm_spec(experiments.get_scenario(name).algorithm)
+                return fault_kinds <= frozenset(algo.fault_tolerance)
+
+            if spec.scenarios is None:
+                names = [name for name in names if _tolerant(name)]
+                if not names:
+                    raise SpecError(
+                        f"sweep spec: no registered scenario declares tolerance "
+                        f"for fault model {spec.fault_model!r}"
+                    )
+            elif not spec.force_faults:
+                intolerant = [name for name in names if not _tolerant(name)]
+                if intolerant:
+                    raise SpecError(
+                        f"sweep spec: fault_model {spec.fault_model!r} injects "
+                        f"fault kinds the algorithms of {intolerant} do not "
+                        f"declare tolerance for; drop them from scenarios or "
+                        f"pass force_faults=True to watch them break"
+                    )
     for name in names:
         scenario = experiments.get_scenario(name)  # fail fast, before forking
         if spec.engine == "round":
@@ -398,7 +438,9 @@ def run_sweep_spec(
     # so its stale cells re-run instead of silently polluting the table.
     digests = {
         name: experiments.scenario_digest(
-            experiments.get_scenario(name), latency_model=spec.latency_model
+            experiments.get_scenario(name),
+            latency_model=spec.latency_model,
+            fault_model=spec.fault_model,
         )
         for name in names
     }
@@ -472,6 +514,7 @@ def run_sweep_spec(
                 fail=fail,
                 engine=spec.engine,
                 latency_model=spec.latency_model,
+                fault_model=spec.fault_model,
             )
         else:
             run_group = functools.partial(
@@ -479,6 +522,7 @@ def run_sweep_spec(
                 with_metrics=with_metrics,
                 engine=spec.engine,
                 latency_model=spec.latency_model,
+                fault_model=spec.fault_model,
             )
             for group in group_list:
                 for index, row, metrics in run_group(group):

@@ -135,6 +135,16 @@ class SweepSpec(Spec):
     pins the backend (``"event"`` on unit latency is the differential
     check — same rows, asynchronous core; ``"round"`` on a non-unit model
     is rejected).
+
+    ``fault_model`` is the robustness axis (see
+    :func:`repro.sim.parse_fault_model` for the grammar): a non-``none``
+    value injects the same seeded fault plane into every cell and joins
+    the resume digest.  The executor refuses to inject fault kinds an
+    algorithm does not declare tolerance for
+    (:attr:`repro.api.AlgorithmSpec.fault_tolerance`) — with
+    ``scenarios=None`` it auto-restricts the catalog to tolerant
+    scenarios, and explicitly named non-tolerant scenarios are an error
+    unless ``force_faults=True`` opts into watching them break.
     """
 
     kind = "sweep"
@@ -150,6 +160,8 @@ class SweepSpec(Spec):
     task_timeout: float | None = None
     latency_model: str | None = None
     engine: str | None = None
+    fault_model: str | None = None
+    force_faults: bool = False
 
     def __post_init__(self):
         object.__setattr__(self, "scenarios", _as_tuple(self.scenarios))
@@ -231,6 +243,22 @@ class SweepSpec(Spec):
             raise SpecError(
                 f"sweep spec: the synchronous 'round' engine cannot express "
                 f"latency model {canonical!r}; use engine='event'"
+            )
+        if self.fault_model is not None:
+            if not isinstance(self.fault_model, str):
+                raise SpecError(
+                    f"sweep spec: fault_model must be a string or None, "
+                    f"got {self.fault_model!r}"
+                )
+            from ..sim.faults import canonical_fault
+
+            try:
+                canonical_fault(self.fault_model)
+            except ValueError as exc:
+                raise SpecError(f"sweep spec: {exc}") from None
+        if not isinstance(self.force_faults, bool):
+            raise SpecError(
+                f"sweep spec: force_faults must be a boolean, got {self.force_faults!r}"
             )
         return self
 

@@ -12,7 +12,15 @@ concurrent instances (APSP) infeasible.
 from __future__ import annotations
 
 from ..graphs import Graph, INFINITY
-from ..sim import Context, Metrics, Mode, NodeAlgorithm, latency_bound, make_runner
+from ..sim import (
+    Context,
+    Metrics,
+    Mode,
+    NodeAlgorithm,
+    fault_horizon_factor,
+    latency_bound,
+    make_runner,
+)
 
 __all__ = ["BellmanFordNode", "run_bellman_ford"]
 
@@ -73,9 +81,13 @@ def run_bellman_ford(
     ``L`` time units per hop, so ``n * L`` covers every path.  That makes
     Bellman-Ford *delay-tolerant* — it converges to correct distances
     under any per-edge latency model (relaxation is monotone; timing only
-    changes when estimates improve, not what they converge to).
+    changes when estimates improve, not what they converge to).  The same
+    monotonicity makes it *fault-tolerant*: every node with a finite
+    estimate re-broadcasts each round, so a dropped message retries next
+    round and a restarted node relearns from its neighbors — the horizon
+    scales by :func:`~repro.sim.fault_horizon_factor` to leave room.
     """
-    horizon = graph.num_nodes * latency_bound()
+    horizon = graph.num_nodes * latency_bound() * fault_horizon_factor()
     algorithms = {
         u: BellmanFordNode(u, u == source, horizon, send_on_change=send_on_change)
         for u in graph.nodes()

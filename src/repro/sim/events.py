@@ -70,13 +70,15 @@ halts while the message is in flight still counts it as delivered.
 
 from __future__ import annotations
 
+import copy
 import random
 from contextlib import contextmanager
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from heapq import heappop, heappush
 
 from ..graphs import Graph
 from ..graphs.indexed import IndexedGraph
+from .faults import FaultModel, parse_fault_model
 from .metrics import Metrics
 from .runner import _IDLE, _NONE, Context, Inbox, Mode, Runner, SimulationError
 
@@ -88,9 +90,12 @@ __all__ = [
     "parse_latency_model",
     "canonical_latency",
     "EngineConfig",
+    "EngineStats",
     "simulation_engine",
     "current_engine",
     "latency_bound",
+    "current_faults",
+    "fault_horizon_factor",
     "make_runner",
     "EventRunner",
 ]
@@ -274,12 +279,47 @@ def canonical_latency(spec: "str | LatencyModel") -> str:
 # ----------------------------------------------------------------------
 # engine selection
 # ----------------------------------------------------------------------
+class EngineStats:
+    """Mutable run-outcome recorder attached to an :class:`EngineConfig`.
+
+    Runners note their graceful-stop outcome here so callers that never
+    see the runner instance (drivers run algorithms through their public
+    entry points) can still surface ``stop_reason`` and the final virtual
+    time as sweep columns.  When a cell runs several runners (recursive
+    algorithms), the last non-``None`` stop reason and the largest final
+    time win — the cell-level story of "did a budget cut this run short".
+    """
+
+    __slots__ = ("stop_reason", "virtual_time")
+
+    def __init__(self) -> None:
+        self.stop_reason: str | None = None
+        self.virtual_time: int = 0
+
+    def note(self, stop_reason: str | None, virtual_time: int) -> None:
+        if stop_reason is not None:
+            self.stop_reason = stop_reason
+        if virtual_time > self.virtual_time:
+            self.virtual_time = virtual_time
+
+
 @dataclass(frozen=True)
 class EngineConfig:
-    """The ambient simulation engine: backend kind plus network model."""
+    """The ambient simulation engine: backend kind plus network model.
+
+    ``faults`` is the parsed fault plane (``None`` when fault-free) —
+    applied by *both* engines.  ``max_time`` / ``message_budget`` are the
+    event engine's graceful stopping conditions; ``stats`` collects
+    stop-reason/virtual-time outcomes from the runners built inside the
+    context.
+    """
 
     engine: str  # "round" | "event"
     latency: LatencyModel
+    faults: FaultModel | None = None
+    max_time: int | None = None
+    message_budget: int | None = None
+    stats: EngineStats = field(default_factory=EngineStats, compare=False)
 
 
 _ENGINE_STACK: list[EngineConfig] = []
@@ -301,11 +341,37 @@ def latency_bound() -> int:
     return 1 if config is None else config.latency.bound
 
 
+def current_faults() -> FaultModel | None:
+    """The ambient fault plane, or ``None`` outside any faulted context.
+
+    Drivers consult this to relax their oracles to the declared
+    tolerances (e.g. distance correctness on surviving nodes under a
+    crash plan) and to recompute the deterministic crash schedule.
+    """
+    config = current_engine()
+    return None if config is None else config.faults
+
+
+def fault_horizon_factor() -> int:
+    """Time-budget slack demanded by the ambient fault plane (1 if none).
+
+    The fault-plane analogue of :func:`latency_bound`: fault-aware
+    protocols multiply their horizons by it so dropped messages can retry
+    and restarted nodes can relearn before the protocol gives up.
+    """
+    plane = current_faults()
+    return 1 if plane is None else plane.horizon_factor
+
+
 @contextmanager
 def simulation_engine(
     engine: str = "event",
     latency: "str | LatencyModel" = "unit",
     seed: int = 0,
+    *,
+    faults: "str | FaultModel | None" = None,
+    max_time: int | None = None,
+    message_budget: int | None = None,
 ):
     """Select the simulation engine for all :func:`make_runner` calls inside.
 
@@ -313,8 +379,11 @@ def simulation_engine(
     given ``latency`` model (a string axis value or a
     :class:`LatencyModel`); ``engine="round"`` pins the synchronous
     :class:`~repro.sim.Runner` and therefore requires the unit model.
-    ``seed`` feeds seeded models (``random:K``).  Contexts nest; the
-    innermost wins.
+    ``seed`` feeds seeded models (``random:K`` latency and every fault
+    draw).  ``faults`` installs a fault plane honored by *both* engines;
+    ``max_time`` / ``message_budget`` are event-engine stopping
+    conditions (rejected under ``engine="round"``, which has no virtual
+    clock to bound).  Contexts nest; the innermost wins.
     """
     if engine not in ("round", "event"):
         raise ValueError(f"unknown engine {engine!r}; options: 'round', 'event'")
@@ -324,7 +393,13 @@ def simulation_engine(
             f"the synchronous 'round' engine cannot express latency model "
             f"{model.name!r}; use engine='event'"
         )
-    config = EngineConfig(engine, model)
+    if engine == "round" and (max_time is not None or message_budget is not None):
+        raise ValueError(
+            "max_time/message_budget are event-engine stopping conditions; "
+            "use engine='event'"
+        )
+    plane = parse_fault_model(faults, seed=seed)
+    config = EngineConfig(engine, model, plane, max_time, message_budget)
     _ENGINE_STACK.append(config)
     try:
         yield config
@@ -343,13 +418,24 @@ def make_runner(
     Outside any :func:`simulation_engine` context — or under
     ``engine="round"`` — this is exactly ``Runner(graph, algorithms,
     mode, **kwargs)``; under ``engine="event"`` it is an
-    :class:`EventRunner` carrying the context's latency model.  All
-    library algorithms build their runners through this factory, which is
-    what lets one sweep flag re-run the whole catalog on the event core.
+    :class:`EventRunner` carrying the context's latency model and
+    stopping conditions.  Both engines inherit the context's fault
+    plane.  All library algorithms build their runners through this
+    factory, which is what lets one sweep flag re-run the whole catalog
+    on the event core — or under a fault model.
     """
     config = current_engine()
-    if config is None or config.engine == "round":
+    if config is None:
         return Runner(graph, algorithms, mode, **kwargs)
+    if config.faults is not None:
+        kwargs.setdefault("faults", config.faults)
+    if config.engine == "round":
+        return Runner(graph, algorithms, mode, **kwargs)
+    if config.max_time is not None:
+        kwargs.setdefault("max_time", config.max_time)
+    if config.message_budget is not None:
+        kwargs.setdefault("message_budget", config.message_budget)
+    kwargs.setdefault("stats", config.stats)
     return EventRunner(graph, algorithms, mode, latency=config.latency, **kwargs)
 
 
@@ -422,6 +508,8 @@ class EventRunner:
         max_rounds: int = 10_000_000,
         max_time: int | None = None,
         message_budget: int | None = None,
+        faults: "str | FaultModel | None" = None,
+        stats: EngineStats | None = None,
     ) -> None:
         indexed = graph if isinstance(graph, IndexedGraph) else IndexedGraph.of(graph)
         try:
@@ -440,6 +528,14 @@ class EventRunner:
         self.max_rounds = max_rounds
         self.max_time = max_time
         self.message_budget = message_budget
+        self.faults = parse_fault_model(faults)
+        # Restart snapshots: a rebooted node comes back with *fresh*
+        # algorithm state (see Runner) — captured before the first step.
+        if self.faults is not None and self.faults.crashes and self.faults.restart_after:
+            self._restart_snapshots = [copy.deepcopy(alg) for alg in algorithms_by_index]
+        else:
+            self._restart_snapshots = None
+        self._stats = stats
         #: ``None`` (ran to quiescence), ``"max_time"``, or ``"message_budget"``.
         self.stop_reason: str | None = None
         self._algorithms_by_index = algorithms_by_index
@@ -511,6 +607,31 @@ class EventRunner:
         last_step = -1
         messages_sent = 0
         stop_reason: str | None = None
+        # --- fault plane (repro.sim.faults) ---------------------------
+        # ``plane is None`` on fault-free runs keeps every loop below on
+        # the exact pre-fault path.  Crash events fire at the top of their
+        # time slot (before deliveries: a dead receiver loses arrivals);
+        # restarts fire after deliveries but before wakes, so a node
+        # restarting at ``t`` misses messages arriving at ``t`` — exactly
+        # the sync engine's semantics, where those messages resolved in
+        # the previous round's delivery phase while the node was down.
+        plane = self.faults
+        crashed: list[bool] | None = None
+        crash_at: dict[int, list[int]] | None = None
+        restart_at: dict[int, list[int]] = {}
+        if plane is not None:
+            crashed = [False] * n
+            if plane.crashes:
+                index_of = {label: i for i, label in enumerate(labels)}
+                crash_at = {}
+                for node, (when, restart) in plane.crash_plan(labels).items():
+                    crash_at.setdefault(when, []).append(index_of[node])
+                    if restart is not None:
+                        restart_at.setdefault(restart, []).append(index_of[node])
+                # Force a slot at every fault-event time so crashes and
+                # restarts fire even in quiet stretches.
+                for when in (*crash_at, *restart_at):
+                    slot_for(when)
 
         while heap:
             t = heappop(heap)
@@ -519,9 +640,25 @@ class EventRunner:
                 break
             slot = slots.pop(t)
 
+            if crash_at is not None:
+                for i in crash_at.get(t, ()):
+                    crashed[i] = True
+                    metrics.record_crash(labels[i])
+                    box = inboxes[i]
+                    if box.senders:
+                        # Buffered-but-unread messages die with the node;
+                        # they were metered as delivered sends, so only the
+                        # fault counter moves.
+                        metrics.messages_dropped += len(box.senders)
+                        box.senders.clear()
+                        box.payloads.clear()
+
             # --- deliveries: unicasts, then broadcasts, in send order ----
             for port_id, payload in slot.unicasts:
                 dst_i = nbr[port_id]
+                if crashed is not None and crashed[dst_i]:
+                    metrics.messages_dropped += 1
+                    continue
                 if contexts[dst_i]._halted:
                     continue
                 box = inboxes[dst_i]
@@ -534,6 +671,9 @@ class EventRunner:
                         slot.wakes.append(dst_i)
             for port_id, payload in slot.bcasts:
                 dst_i = nbr[port_id]
+                if crashed is not None and crashed[dst_i]:
+                    metrics.messages_dropped += 1
+                    continue
                 if contexts[dst_i]._halted:
                     continue
                 box = inboxes[dst_i]
@@ -545,12 +685,33 @@ class EventRunner:
                         next_wake[dst_i] = t
                         slot.wakes.append(dst_i)
 
+            if restart_at:
+                for i in restart_at.get(t, ()):
+                    fresh = copy.deepcopy(self._restart_snapshots[i])
+                    self._algorithms_by_index[i] = fresh
+                    self.algorithms[labels[i]] = fresh
+                    on_rounds[i] = fresh.on_round
+                    ctx = contexts[i]
+                    ctx._halted = False
+                    ctx._next_wake = None
+                    crashed[i] = False
+                    metrics.record_recovery(labels[i])
+                    next_wake[i] = t
+                    slot.wakes.append(i)
+
             # --- wakes: filter stale entries, step in node-index order ---
             awake: list[int] = []
-            for i in slot.wakes:
-                if next_wake[i] == t:
-                    next_wake[i] = _NONE
-                    awake.append(i)
+            if crashed is None:
+                for i in slot.wakes:
+                    if next_wake[i] == t:
+                        next_wake[i] = _NONE
+                        awake.append(i)
+            else:
+                for i in slot.wakes:
+                    if next_wake[i] == t:
+                        next_wake[i] = _NONE
+                        if not crashed[i]:
+                            awake.append(i)
             if awake:
                 if t >= max_rounds:
                     raise SimulationError(f"exceeded max_rounds={max_rounds}")
@@ -583,24 +744,23 @@ class EventRunner:
             if out_ports or bcast_src:
                 if not fast:
                     metrics.current_round = t
-                for port_id, payload in zip(out_ports, out_payloads):
-                    dst_i = nbr[port_id]
-                    messages_sent += 1
-                    if sleeping:
-                        delivered = (
-                            awake_stamp[dst_i] == t and not contexts[dst_i]._halted
-                        )
-                    else:
-                        delivered = True
-                    metrics.record_send(port_src[port_id], labels[dst_i], delivered)
-                    if delivered and not contexts[dst_i]._halted:
-                        arrival = t + (uniform if uniform is not None else delays[port_id])
-                        slot_for(arrival).unicasts.append((port_id, payload))
-                for src_i, payload in zip(bcast_src, bcast_payloads):
-                    sender = labels[src_i]
-                    for port_id in range(indptr[src_i], indptr[src_i + 1]):
+                if plane is not None:
+                    # Faulted resolution: drop/dup decided at send time, on
+                    # the sending side of the link (see DESIGN.md), with
+                    # draws keyed and occurrence-counted exactly like the
+                    # sync engine's delivery phase — unit-latency faulted
+                    # runs agree across engines.
+                    occ: dict[int, int] = {}
+                    for port_id, payload in zip(out_ports, out_payloads):
                         dst_i = nbr[port_id]
                         messages_sent += 1
+                        src = port_src[port_id]
+                        dst = labels[dst_i]
+                        k = occ.get(port_id, 0)
+                        occ[port_id] = k + 1
+                        if plane.drop_message(src, dst, t, k) or crashed[dst_i]:
+                            metrics.record_dropped(src, dst)
+                            continue
                         if sleeping:
                             delivered = (
                                 awake_stamp[dst_i] == t
@@ -608,12 +768,76 @@ class EventRunner:
                             )
                         else:
                             delivered = True
-                        metrics.record_send(sender, labels[dst_i], delivered)
+                        metrics.record_send(src, dst, delivered)
                         if delivered and not contexts[dst_i]._halted:
                             arrival = t + (
                                 uniform if uniform is not None else delays[port_id]
                             )
-                            slot_for(arrival).bcasts.append((port_id, payload))
+                            target = slot_for(arrival).unicasts
+                            target.append((port_id, payload))
+                            if plane.duplicate_message(src, dst, t, k):
+                                target.append((port_id, payload))
+                                metrics.record_duplicated(src, dst)
+                    for src_i, payload in zip(bcast_src, bcast_payloads):
+                        sender = labels[src_i]
+                        for port_id in range(indptr[src_i], indptr[src_i + 1]):
+                            dst_i = nbr[port_id]
+                            messages_sent += 1
+                            dst = labels[dst_i]
+                            k = occ.get(port_id, 0)
+                            occ[port_id] = k + 1
+                            if plane.drop_message(sender, dst, t, k) or crashed[dst_i]:
+                                metrics.record_dropped(sender, dst)
+                                continue
+                            if sleeping:
+                                delivered = (
+                                    awake_stamp[dst_i] == t
+                                    and not contexts[dst_i]._halted
+                                )
+                            else:
+                                delivered = True
+                            metrics.record_send(sender, dst, delivered)
+                            if delivered and not contexts[dst_i]._halted:
+                                arrival = t + (
+                                    uniform if uniform is not None else delays[port_id]
+                                )
+                                target = slot_for(arrival).bcasts
+                                target.append((port_id, payload))
+                                if plane.duplicate_message(sender, dst, t, k):
+                                    target.append((port_id, payload))
+                                    metrics.record_duplicated(sender, dst)
+                else:
+                    for port_id, payload in zip(out_ports, out_payloads):
+                        dst_i = nbr[port_id]
+                        messages_sent += 1
+                        if sleeping:
+                            delivered = (
+                                awake_stamp[dst_i] == t and not contexts[dst_i]._halted
+                            )
+                        else:
+                            delivered = True
+                        metrics.record_send(port_src[port_id], labels[dst_i], delivered)
+                        if delivered and not contexts[dst_i]._halted:
+                            arrival = t + (uniform if uniform is not None else delays[port_id])
+                            slot_for(arrival).unicasts.append((port_id, payload))
+                    for src_i, payload in zip(bcast_src, bcast_payloads):
+                        sender = labels[src_i]
+                        for port_id in range(indptr[src_i], indptr[src_i + 1]):
+                            dst_i = nbr[port_id]
+                            messages_sent += 1
+                            if sleeping:
+                                delivered = (
+                                    awake_stamp[dst_i] == t
+                                    and not contexts[dst_i]._halted
+                                )
+                            else:
+                                delivered = True
+                            metrics.record_send(sender, labels[dst_i], delivered)
+                            if delivered and not contexts[dst_i]._halted:
+                                arrival = t + (
+                                    uniform if uniform is not None else delays[port_id]
+                                )
+                                slot_for(arrival).bcasts.append((port_id, payload))
                 out_ports.clear()
                 out_payloads.clear()
                 bcast_src.clear()
@@ -625,6 +849,9 @@ class EventRunner:
                     stop_reason = "message_budget"
                     break
 
-        metrics.record_rounds((last_step + 1) * self.round_width)
+        final_time = (last_step + 1) * self.round_width
+        metrics.record_rounds(final_time)
         self.stop_reason = stop_reason
+        if self._stats is not None:
+            self._stats.note(stop_reason, final_time)
         return metrics

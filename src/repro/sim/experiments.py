@@ -69,6 +69,7 @@ from ..api.algorithms import (
 from ..api.drivers import BUILTIN_ALGORITHMS, DriverError  # noqa: F401 (registers built-ins)
 from ..graphs import generators
 from .events import canonical_latency, simulation_engine
+from .faults import canonical_fault, parse_fault_model
 from .metrics import Metrics
 
 __all__ = [
@@ -131,6 +132,19 @@ class Scenario:
     synchronous engine; anything else runs on the event engine with
     per-edge delays seeded by the cell's sweep seed, making latency a real
     sweep axis — same protocol, same instance, different network.
+
+    ``fault_model`` is the fault plane of the cell (see
+    :func:`repro.sim.parse_fault_model` for the grammar — ``drop:p``,
+    ``dup:p``, ``crash:k@r[+restart:d]`` and ``+``-compositions).  The
+    default ``"none"`` is the fault-free network; anything else injects
+    seeded faults into *both* engines, and registration enforces that the
+    algorithm declares tolerance for every injected fault kind
+    (:attr:`repro.api.AlgorithmSpec.fault_tolerance`).
+
+    ``max_time`` / ``message_budget`` are event-engine stopping conditions
+    (virtual-time and bandwidth bounds); setting either pins the cell to
+    the event engine and surfaces ``stop_reason``/``virtual_time`` row
+    columns.
     """
 
     name: str
@@ -140,6 +154,9 @@ class Scenario:
     params: tuple = ()
     description: str = ""
     latency_model: str = "unit"
+    fault_model: str = "none"
+    max_time: int | None = None
+    message_budget: int | None = None
 
     def build_graph(self, n: int, seed: int):
         return generators.make_family(self.family, n, self.max_weight, seed=seed)
@@ -188,30 +205,59 @@ def register_scenario(scenario: Scenario) -> Scenario:
         canonical_latency(scenario.latency_model)
     except ValueError as exc:
         raise SweepError(f"scenario {scenario.name!r}: {exc}") from None
+    try:
+        canon_fault = canonical_fault(scenario.fault_model)
+    except ValueError as exc:
+        raise SweepError(f"scenario {scenario.name!r}: {exc}") from None
+    if canon_fault != "none":
+        kinds = parse_fault_model(canon_fault).kinds
+        missing = sorted(kinds - frozenset(spec.fault_tolerance))
+        if missing:
+            raise SweepError(
+                f"scenario {scenario.name!r}: algorithm {scenario.algorithm!r} "
+                f"declares no tolerance for fault kind(s) {missing} "
+                f"(declared: {sorted(spec.fault_tolerance) or 'none'})"
+            )
+    for bound_name in ("max_time", "message_budget"):
+        bound = getattr(scenario, bound_name)
+        if bound is not None and (isinstance(bound, bool) or not isinstance(bound, int) or bound < 1):
+            raise SweepError(
+                f"scenario {scenario.name!r}: {bound_name} must be a positive "
+                f"int or None, got {bound!r}"
+            )
     _SCENARIOS[scenario.name] = scenario
     return scenario
 
 
-def scenario_digest(scenario: Scenario, latency_model: str | None = None) -> str:
+def scenario_digest(
+    scenario: Scenario,
+    latency_model: str | None = None,
+    fault_model: str | None = None,
+) -> str:
     """Short canonical digest of everything that determines a cell's result.
 
     Hashes the scenario *definition* — family, algorithm, ``max_weight``,
-    the full ``params`` mapping, and (when not ``"unit"``) the latency
-    model — as canonical JSON.  The digest rides in every tidy row
-    (``params_digest``) and in the resume key (:func:`repro.api.cell_key`),
-    so a store written under one definition of a scenario name can never
-    silently satisfy a resume under another: changed params produce a
-    different key and the stale cells re-run.
+    the full ``params`` mapping, and (when not ``"unit"``/``"none"``) the
+    latency and fault models, plus any stopping bounds — as canonical
+    JSON.  The digest rides in every tidy row (``params_digest``) and in
+    the resume key (:func:`repro.api.cell_key`), so a store written under
+    one definition of a scenario name can never silently satisfy a resume
+    under another: changed params produce a different key and the stale
+    cells re-run.
 
-    ``latency_model`` overrides the scenario's own model (the sweep-level
-    axis).  The canonical ``"unit"`` model is *omitted* from the payload —
-    unit-latency digests are identical to pre-latency ones, so existing
-    stores keep resuming — and the executing engine is never hashed:
-    under unit latency both engines produce the same rows by construction,
-    so engine choice is provenance, not identity.
+    ``latency_model`` / ``fault_model`` override the scenario's own models
+    (the sweep-level axes).  The canonical ``"unit"`` latency and
+    ``"none"`` fault plane are *omitted* from the payload — fault-free
+    unit-latency digests are identical to pre-latency/pre-fault ones, so
+    existing stores keep resuming — and the executing engine is never
+    hashed: under unit latency both engines produce the same rows by
+    construction, so engine choice is provenance, not identity.
     """
     effective = canonical_latency(
         latency_model if latency_model is not None else scenario.latency_model
+    )
+    effective_fault = canonical_fault(
+        fault_model if fault_model is not None else scenario.fault_model
     )
     payload_dict = {
         "family": scenario.family,
@@ -223,6 +269,12 @@ def scenario_digest(scenario: Scenario, latency_model: str | None = None) -> str
     }
     if effective != "unit":
         payload_dict["latency_model"] = effective
+    if effective_fault != "none":
+        payload_dict["fault_model"] = effective_fault
+    if scenario.max_time is not None:
+        payload_dict["max_time"] = scenario.max_time
+    if scenario.message_budget is not None:
+        payload_dict["message_budget"] = scenario.message_budget
     payload = json.dumps(payload_dict, sort_keys=True)
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:12]
 
@@ -302,6 +354,31 @@ for _scenario in (
     Scenario("bellman-ford/grid@stretch3", "grid", "bellman-ford", max_weight=9,
              latency_model="uniform:3",
              description="Bellman-Ford under uniformly tripled edge latency"),
+    # Fault-injection axis: seeded drop/dup/crash-restart planes on the
+    # protocols whose specs declare tolerance for them (see
+    # repro.api.drivers).  Bellman-Ford re-broadcasts every round, so
+    # drops retry and restarted nodes relearn (fully tolerant); BFS offers
+    # are one-shot, so it is registered only under dup/crash planes —
+    # injecting drops into it is the negative control the fault tests
+    # exercise via run_scenario's ungated fault_model override.
+    Scenario("bellman-ford/er@drop5", "er", "bellman-ford", max_weight=9,
+             fault_model="drop:0.05",
+             description="Bellman-Ford with 5% seeded message drops"),
+    Scenario("bellman-ford/grid@lossy", "grid", "bellman-ford", max_weight=9,
+             fault_model="drop:0.1+dup:0.05",
+             description="Bellman-Ford under combined drop and duplication"),
+    Scenario("bellman-ford/er@crashrestart", "er", "bellman-ford", max_weight=9,
+             fault_model="crash:2@2+restart:3",
+             description="Bellman-Ford with two crash-restart nodes"),
+    Scenario("bfs/grid@crash2", "grid", "bfs",
+             fault_model="crash:2@3+restart:6",
+             description="CONGEST BFS with two crash-restart nodes on grids"),
+    # Duration-bounded axis: the same lossy Bellman-Ford workload under a
+    # virtual-time budget (event engine), surfacing stop_reason and the
+    # final virtual time as row columns.
+    Scenario("bellman-ford/er@budget", "er", "bellman-ford", max_weight=9,
+             fault_model="drop:0.05", max_time=24,
+             description="lossy Bellman-Ford cut short by a virtual-time budget"),
 ):
     register_scenario(_scenario)
 
@@ -342,43 +419,70 @@ def _run_cell(
     seed: int,
     engine: str | None = None,
     latency_model: str | None = None,
+    fault_model: str | None = None,
 ) -> tuple[dict, Metrics]:
     """Execute one cell; return its tidy row and the full metrics object.
 
-    ``latency_model`` overrides the scenario's own network model (the
-    sweep-level axis) and ``engine`` pins the executor backend; by default
-    unit-latency cells run on the synchronous round engine and everything
-    else on the event engine.  Seeded latency models draw their per-edge
-    delays from the cell's sweep seed.  The engine never appears in the
-    row — under unit latency both engines are differentially identical,
-    so it is provenance, not part of the result's identity.
+    ``latency_model`` / ``fault_model`` override the scenario's own
+    network and fault models (the sweep-level axes) and ``engine`` pins
+    the executor backend; by default unit-latency cells run on the
+    synchronous round engine and everything else — including
+    duration-bounded scenarios — on the event engine.  Seeded latency
+    models and every fault draw key off the cell's sweep seed.  The
+    engine never appears in the row — under unit latency both engines
+    are differentially identical (faulted or not), so it is provenance,
+    not part of the result's identity.
 
     A driver may return a dict of scenario-specific quality columns (MST
-    weight, cover degree/radius, ``preprocess_*`` costs, ...); they are
-    appended to the row after the core :data:`ROW_FIELDS`, in sorted key
-    order so fresh and store-reloaded rows agree byte-for-byte.
+    weight, cover degree/radius, ``robustness`` verdicts, ``preprocess_*``
+    costs, ...); they are appended to the row after the core
+    :data:`ROW_FIELDS`, in sorted key order so fresh and store-reloaded
+    rows agree byte-for-byte.  Faulted cells additionally append the
+    ``fault_model`` axis value and the four fault counters; cells whose
+    run was cut short by a stopping bound append
+    ``stop_reason``/``virtual_time``.  Fault-free unbounded rows carry
+    none of these, keeping them byte-identical to pre-fault stores.
     """
     scenario = get_scenario(name)
     effective_latency = (
         latency_model if latency_model is not None else scenario.latency_model
     )
+    effective_fault = (
+        fault_model if fault_model is not None else scenario.fault_model
+    )
+    bounded = scenario.max_time is not None or scenario.message_budget is not None
     try:
         canonical = canonical_latency(effective_latency)
-        effective_engine = engine or ("round" if canonical == "unit" else "event")
+        canonical_fault_model = canonical_fault(effective_fault)
+        effective_engine = engine or (
+            "round" if canonical == "unit" and not bounded else "event"
+        )
         if effective_engine == "round" and canonical != "unit":
             raise ValueError(
                 f"the synchronous 'round' engine cannot express latency model "
                 f"{canonical!r}; use engine='event'"
             )
+        if effective_engine == "round" and bounded:
+            raise ValueError(
+                "max_time/message_budget are event-engine stopping conditions; "
+                "use engine='event'"
+            )
     except ValueError as exc:
-        # An unparseable latency string or an engine/latency mismatch is a
+        # An unparseable latency/fault string or an engine mismatch is a
         # configuration error, reported like any other bad sweep input.
         raise SweepError(f"cell {name!r}: {exc}") from exc
     graph = _cached_graph(scenario, n, seed)
     metrics = Metrics()
     driver = get_algorithm_spec(scenario.algorithm).resolve()
     try:
-        with simulation_engine(effective_engine, effective_latency, seed=seed):
+        with simulation_engine(
+            effective_engine,
+            effective_latency,
+            seed=seed,
+            faults=canonical_fault_model,
+            max_time=scenario.max_time,
+            message_budget=scenario.message_budget,
+        ) as config:
             extras = driver(graph, seed, metrics, **dict(scenario.params))
     except DriverError as exc:
         raise SweepError(str(exc)) from exc
@@ -396,7 +500,9 @@ def _run_cell(
         # every resume lookup miss on such families and silently re-run
         # their cells (see repro.api.cell_key).
         "size": n,
-        "params_digest": scenario_digest(scenario, latency_model=effective_latency),
+        "params_digest": scenario_digest(
+            scenario, latency_model=effective_latency, fault_model=effective_fault
+        ),
         "latency_model": canonical,
         "rounds": summary["rounds"],
         "messages": summary["messages"],
@@ -404,19 +510,28 @@ def _run_cell(
         "congestion": summary["congestion"],
         "energy": summary["energy"],
     }
-    if extras:
-        if not isinstance(extras, dict):
+    if extras is not None and not isinstance(extras, dict):
+        raise SweepError(
+            f"driver for {scenario.algorithm!r} returned {type(extras).__name__}; "
+            "drivers return None or a dict of quality columns"
+        )
+    merged = dict(extras) if extras else {}
+    if canonical_fault_model != "none":
+        merged.setdefault("fault_model", canonical_fault_model)
+        merged.setdefault("messages_dropped", metrics.messages_dropped)
+        merged.setdefault("messages_duplicated", metrics.messages_duplicated)
+        merged.setdefault("nodes_crashed", metrics.nodes_crashed)
+        merged.setdefault("recoveries", metrics.recoveries)
+    if bounded or config.stats.stop_reason is not None:
+        merged.setdefault("stop_reason", config.stats.stop_reason or "completed")
+        merged.setdefault("virtual_time", config.stats.virtual_time)
+    for key in sorted(merged):
+        if key in row or key == "metrics":
             raise SweepError(
-                f"driver for {scenario.algorithm!r} returned {type(extras).__name__}; "
-                "drivers return None or a dict of quality columns"
+                f"driver for {scenario.algorithm!r}: quality column {key!r} "
+                "collides with a core row field"
             )
-        for key in sorted(extras):
-            if key in row or key == "metrics":
-                raise SweepError(
-                    f"driver for {scenario.algorithm!r}: quality column {key!r} "
-                    "collides with a core row field"
-                )
-            row[key] = extras[key]
+        row[key] = merged[key]
     return row, metrics
 
 
@@ -426,16 +541,24 @@ def run_scenario(
     seed: int = 0,
     engine: str | None = None,
     latency_model: str | None = None,
+    fault_model: str | None = None,
 ) -> dict:
     """Run one (scenario, size, seed) cell and return its tidy row.
 
-    ``engine``/``latency_model`` override the scenario's defaults (see
-    :func:`_run_cell`).  The graph instance comes from the per-process
-    cache, so scenarios that share a family/size/seed cell reuse one graph
-    (and its indexed view).  Drivers must not mutate it — the library-wide
-    append-only convention.
+    ``engine``/``latency_model``/``fault_model`` override the scenario's
+    defaults (see :func:`_run_cell`).  Unlike the sweep layer, this entry
+    point does *not* gate ``fault_model`` on the algorithm's declared
+    tolerance — it is the hands-on API for probing exactly how an
+    undeclared protocol breaks (the sweep's gate lives in
+    :func:`repro.api.run_sweep_spec`).  The graph instance comes from the
+    per-process cache, so scenarios that share a family/size/seed cell
+    reuse one graph (and its indexed view).  Drivers must not mutate it —
+    the library-wide append-only convention.
     """
-    row, _ = _run_cell(name, n, seed, engine=engine, latency_model=latency_model)
+    row, _ = _run_cell(
+        name, n, seed, engine=engine, latency_model=latency_model,
+        fault_model=fault_model,
+    )
     return row
 
 
@@ -444,6 +567,7 @@ def _run_cell_group(
     with_metrics: bool = True,
     engine: str | None = None,
     latency_model: str | None = None,
+    fault_model: str | None = None,
 ) -> list[tuple[int, dict, dict | None]]:
     """Run one locality group of ``(index, name, n, seed)`` tasks in order.
 
@@ -452,13 +576,14 @@ def _run_cell_group(
     :class:`~repro.api.ResultSet` without re-running the cell.
     ``with_metrics=False`` (in-memory stores, which discard them) skips the
     O(E log E) serialization and keeps the worker pipes lean.
-    ``engine``/``latency_model`` are the sweep-level overrides, applied
-    uniformly to every cell of the group.
+    ``engine``/``latency_model``/``fault_model`` are the sweep-level
+    overrides, applied uniformly to every cell of the group.
     """
     out = []
     for index, name, n, seed in group:
         row, metrics = _run_cell(
-            name, n, seed, engine=engine, latency_model=latency_model
+            name, n, seed, engine=engine, latency_model=latency_model,
+            fault_model=fault_model,
         )
         out.append((index, row, metrics.to_dict() if with_metrics else None))
     return out
@@ -470,6 +595,7 @@ def _worker_loop(
     with_metrics: bool = True,
     engine: str | None = None,
     latency_model: str | None = None,
+    fault_model: str | None = None,
 ) -> None:
     """Supervised-executor worker: serve dispatched cell groups until told to stop.
 
@@ -502,6 +628,7 @@ def _worker_loop(
                 with_metrics=with_metrics,
                 engine=engine,
                 latency_model=latency_model,
+                fault_model=fault_model,
             )
         except (KeyboardInterrupt, SystemExit):
             raise  # die silently; the supervisor sees a dead worker

@@ -38,6 +38,13 @@ class Metrics:
         self.edge_messages: Counter = Counter()
         self.awake_rounds: Counter = Counter()
         self.subproblem_participation: Counter = Counter()
+        # Fault-plane meters (repro.sim.faults): all stay zero on fault-free
+        # runs, and to_dict() omits them when zero, so serialized metrics
+        # remain byte-identical to pre-fault stores.
+        self.messages_dropped: int = 0
+        self.messages_duplicated: int = 0
+        self.nodes_crashed: int = 0
+        self.recoveries: int = 0
         # In-phase round of the currently executing runner; set by Runner so
         # subclasses can timestamp individual sends (see repro.core.apsp).
         self.current_round: int = 0
@@ -63,6 +70,36 @@ class Metrics:
     def record_participation(self, node: object) -> None:
         """Note that ``node`` took part in one (sub)problem (Lemma 2.4)."""
         self.subproblem_participation[node] += 1
+
+    # -- fault-plane events (called only by faulted engine paths) -------
+    def record_dropped(self, src: object, dst: object) -> None:
+        """One message destroyed by the fault plane at the link.
+
+        The send still happened — it counts toward message/congestion
+        totals like any other send — but it reaches nobody; the loss is
+        a *fault* loss (``messages_dropped``), distinct from the sleeping
+        model's ``lost_messages`` currency.
+        """
+        self.total_messages += 1
+        self.edge_messages[(src, dst)] += 1
+        self.messages_dropped += 1
+
+    def record_duplicated(self, src: object, dst: object) -> None:
+        """One fault-injected duplicate delivery on ``src -> dst``.
+
+        Duplicates are artifacts of the network, not protocol work: they
+        bypass edge-capacity metering and do not inflate message or
+        congestion totals — only this counter.
+        """
+        self.messages_duplicated += 1
+
+    def record_crash(self, node: object) -> None:
+        """``node`` crashed (fault plane); its pending inbox is destroyed."""
+        self.nodes_crashed += 1
+
+    def record_recovery(self, node: object) -> None:
+        """``node`` restarted with fresh algorithm state after a crash."""
+        self.recoveries += 1
 
     # ------------------------------------------------------------------
     # derived quantities (the paper's four complexity measures)
@@ -113,6 +150,10 @@ class Metrics:
             self.rounds = max(self.rounds, other.rounds)
         self.total_messages += other.total_messages
         self.lost_messages += other.lost_messages
+        self.messages_dropped += other.messages_dropped
+        self.messages_duplicated += other.messages_duplicated
+        self.nodes_crashed += other.nodes_crashed
+        self.recoveries += other.recoveries
         self.edge_messages.update(other.edge_messages)
         self.awake_rounds.update(other.awake_rounds)
         self.subproblem_participation.update(other.subproblem_participation)
@@ -134,8 +175,13 @@ class Metrics:
         recorded quantity exactly — including the per-edge and per-node
         breakdowns behind the four headline currencies — for the integer
         node labels the graph substrate uses.
+
+        Fault meters are emitted under a ``"faults"`` sub-dict **only
+        when any of them is nonzero**: a fault-free run serializes to the
+        exact pre-fault byte layout, so existing stores and differential
+        baselines are untouched.
         """
-        return {
+        out = {
             "rounds": self.rounds,
             "total_messages": self.total_messages,
             "lost_messages": self.lost_messages,
@@ -159,6 +205,19 @@ class Metrics:
                 )
             ],
         }
+        if (
+            self.messages_dropped
+            or self.messages_duplicated
+            or self.nodes_crashed
+            or self.recoveries
+        ):
+            out["faults"] = {
+                "messages_dropped": self.messages_dropped,
+                "messages_duplicated": self.messages_duplicated,
+                "nodes_crashed": self.nodes_crashed,
+                "recoveries": self.recoveries,
+            }
+        return out
 
     @classmethod
     def from_dict(cls, data: dict) -> "Metrics":
@@ -168,6 +227,12 @@ class Metrics:
         out.total_messages = int(data["total_messages"])
         out.lost_messages = int(data["lost_messages"])
         out.current_round = int(data.get("current_round", 0))
+        faults = data.get("faults")
+        if faults:
+            out.messages_dropped = int(faults.get("messages_dropped", 0))
+            out.messages_duplicated = int(faults.get("messages_duplicated", 0))
+            out.nodes_crashed = int(faults.get("nodes_crashed", 0))
+            out.recoveries = int(faults.get("recoveries", 0))
         for src, dst, count in data["edge_messages"]:
             out.edge_messages[(src, dst)] = count
         for node, count in data["awake_rounds"]:

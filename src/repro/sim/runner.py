@@ -71,6 +71,7 @@ protocols in both modes.
 
 from __future__ import annotations
 
+import copy
 import enum
 from collections import Counter
 from heapq import heappop, heappush
@@ -362,6 +363,11 @@ class Runner:
         created if omitted.
     max_rounds:
         Hard safety bound; exceeding it raises :class:`SimulationError`.
+    faults:
+        Optional :class:`~repro.sim.faults.FaultModel` (or axis string) —
+        seeded message drop/duplication and node crash-restart applied in
+        the delivery phase.  ``None``/``"none"`` leaves every hot path
+        byte-identical to the fault-free engine.
     """
 
     def __init__(
@@ -374,6 +380,7 @@ class Runner:
         edge_capacity: int = 1,
         metrics: Metrics | None = None,
         max_rounds: int = 10_000_000,
+        faults=None,
     ) -> None:
         indexed = graph if isinstance(graph, IndexedGraph) else IndexedGraph.of(graph)
         try:
@@ -391,6 +398,17 @@ class Runner:
         self.edge_capacity = edge_capacity
         self.metrics = metrics if metrics is not None else Metrics()
         self.max_rounds = max_rounds
+        from .faults import parse_fault_model
+
+        self.faults = parse_fault_model(faults)
+        # Restart snapshots: a rebooted node comes back with *fresh*
+        # algorithm state, so capture each node's initial instance before
+        # the first step mutates it.  Only crash+restart plans pay for the
+        # copies.
+        if self.faults is not None and self.faults.crashes and self.faults.restart_after:
+            self._restart_snapshots = [copy.deepcopy(alg) for alg in algorithms_by_index]
+        else:
+            self._restart_snapshots = None
         # Per-graph engine-state pool: recursive algorithms create runners
         # by the thousand over the same frozen view, so contexts, inbox
         # buffers and the port-load array are checked out of a single-slot
@@ -484,6 +502,29 @@ class Runner:
             heap.append(0)
         # last round each node woke (for sleeping-mode delivery).
         awake_stamp = [-1] * n if sleeping else None
+        # --- fault plane (repro.sim.faults) ---------------------------
+        # ``plane is None`` on fault-free runs: every branch below then
+        # follows the exact pre-fault code path (the byte-identity
+        # guarantee the differential tests pin).
+        plane = self.faults
+        crashed: list[bool] | None = None
+        crash_at: dict[int, list[int]] | None = None
+        restart_at: dict[int, list[int]] = {}
+        if plane is not None:
+            crashed = [False] * n
+            if plane.crashes:
+                index_of = {label: i for i, label in enumerate(labels)}
+                crash_at = {}
+                for node, (when, restart) in plane.crash_plan(labels).items():
+                    crash_at.setdefault(when, []).append(index_of[node])
+                    if restart is not None:
+                        restart_at.setdefault(restart, []).append(index_of[node])
+                # Force a scheduler visit at every fault-event round so
+                # crashes and restarts fire even in quiet stretches.
+                for when in (*crash_at, *restart_at):
+                    if when not in buckets:
+                        buckets[when] = []
+                        heappush(heap, when)
         last_round = -1
         # Fast-path metric logs: per-round counter updates are deferred to
         # batched folds (Counter.update and dict increments have per-call
@@ -497,13 +538,47 @@ class Runner:
         while heap:
             r = heappop(heap)
             bucket = buckets.pop(r)
+            if crash_at is not None:
+                # Crash events fire before anything else at their round: the
+                # victim does not step, its buffered inbox is destroyed (the
+                # messages were metered as delivered sends — they vanish
+                # into ``messages_dropped`` only).  Restarts rebind a fresh
+                # copy of the node's initial algorithm and book it to wake
+                # *this* round, as if it had just joined the network.
+                for i in crash_at.get(r, ()):
+                    crashed[i] = True
+                    metrics.record_crash(labels[i])
+                    box = inboxes[i]
+                    if box.senders:
+                        metrics.messages_dropped += len(box.senders)
+                        box.senders.clear()
+                        box.payloads.clear()
+                for i in restart_at.get(r, ()):
+                    fresh = copy.deepcopy(self._restart_snapshots[i])
+                    algorithms[i] = fresh
+                    self.algorithms[labels[i]] = fresh
+                    on_rounds[i] = fresh.on_round
+                    ctx = contexts[i]
+                    ctx._halted = False
+                    ctx._next_wake = None
+                    crashed[i] = False
+                    metrics.record_recovery(labels[i])
+                    next_wake[i] = r
+                    bucket.append(i)
             # Keep live entries only; consuming an entry marks it dead so a
             # node double-booked into one bucket still steps once.
             awake: list[int] = []
-            for i in bucket:
-                if next_wake[i] == r:
-                    next_wake[i] = _NONE
-                    awake.append(i)
+            if crashed is None:
+                for i in bucket:
+                    if next_wake[i] == r:
+                        next_wake[i] = _NONE
+                        awake.append(i)
+            else:
+                for i in bucket:
+                    if next_wake[i] == r:
+                        next_wake[i] = _NONE
+                        if not crashed[i]:
+                            awake.append(i)
             if not awake:
                 continue
             if r >= max_rounds:
@@ -554,7 +629,64 @@ class Runner:
             if out_ports or bcast_src:
                 if bcast_src and bviews is None:
                     bviews = indexed.broadcast_views()
-                if sleeping:
+                if plane is not None:
+                    # Faulted delivery: one per-message path for both modes.
+                    # Draws are keyed by (seed, kind, edge, send round,
+                    # occurrence index) with occurrences counted in send
+                    # order — the same order the event engine resolves at
+                    # send time — so unit-latency faulted runs agree across
+                    # engines just like fault-free ones.
+                    indptr = indexed.indptr
+                    occ: dict[int, int] = {}
+                    nxt_bucket = buckets.get(nxt_round)
+
+                    def deliver(port_id: int, src: object, payload: object) -> None:
+                        nonlocal nxt_bucket
+                        dst_i = nbr[port_id]
+                        dst = labels[dst_i]
+                        k = occ.get(port_id, 0)
+                        occ[port_id] = k + 1
+                        if plane.drop_message(src, dst, r, k) or crashed[dst_i]:
+                            metrics.record_dropped(src, dst)
+                            return
+                        if sleeping:
+                            delivered = (
+                                awake_stamp[dst_i] == r and not contexts[dst_i]._halted
+                            )
+                            metrics.record_send(src, dst, delivered)
+                            if not delivered:
+                                return
+                        else:
+                            metrics.record_send(src, dst, True)
+                            if contexts[dst_i]._halted:
+                                return
+                        box = inboxes[dst_i]
+                        box.senders.append(src)
+                        box.payloads.append(payload)
+                        if plane.duplicate_message(src, dst, r, k):
+                            # The duplicate lands right after the original
+                            # (same round) — a fault artifact outside the
+                            # capacity and message-complexity metering.
+                            box.senders.append(src)
+                            box.payloads.append(payload)
+                            metrics.record_duplicated(src, dst)
+                        if not sleeping:
+                            cur = next_wake[dst_i]
+                            if cur == _NONE or cur > nxt_round:
+                                next_wake[dst_i] = nxt_round
+                                if nxt_bucket is None:
+                                    nxt_bucket = buckets[nxt_round] = [dst_i]
+                                    heappush(heap, nxt_round)
+                                else:
+                                    nxt_bucket.append(dst_i)
+
+                    for port_id, payload in zip(out_ports, out_payloads):
+                        deliver(port_id, port_src[port_id], payload)
+                    for src_i, payload in zip(bcast_src, bcast_payloads):
+                        sender = labels[src_i]
+                        for port_id in range(indptr[src_i], indptr[src_i + 1]):
+                            deliver(port_id, sender, payload)
+                elif sleeping:
                     # A message reaches its target only if the target was
                     # awake in the round it was sent (Sec 1.2).
                     if fast:
