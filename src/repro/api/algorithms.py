@@ -169,6 +169,31 @@ class AlgorithmSpec:
                     )
         return self
 
+    def source_paths(self) -> list[str]:
+        """Source files behind this spec, for ``repro lint --plugins``.
+
+        Resolves the driver (and oracle, when declared) and maps each to
+        its defining file via :mod:`inspect`.  Objects without a source
+        file (builtins, C extensions, in-process lambdas) are skipped —
+        the lint CLI reports what it actually checked, so a spec that
+        contributes no source is visible there rather than a silent gap.
+        """
+        import inspect
+
+        targets = [self.resolve()]
+        if self.oracle:
+            targets.append(resolve_entry_point(self.oracle))
+        paths: list[str] = []
+        for target in targets:
+            target = inspect.unwrap(target)
+            try:
+                source = inspect.getsourcefile(target)
+            except TypeError:
+                source = None
+            if source and source not in paths:
+                paths.append(source)
+        return paths
+
     def to_dict(self) -> dict:
         return {
             "name": self.name,

@@ -197,7 +197,7 @@ def _build_one_color(
             bfs = run_labeled_bfs(graph, sources, k, metrics=metrics)
 
             proposals: dict[object, list] = {c.label: [] for c in blue}
-            for u in live:
+            for u in sorted(live, key=repr):
                 if u in sources:
                     continue
                 dist, label, parent, hops = bfs[u]

@@ -248,18 +248,23 @@ def parse_latency_model(spec: "str | LatencyModel", seed: int = 0) -> LatencyMod
         return UniformLatency(1)
     head, sep, tail = text.partition(":")
     if sep:
+        if head not in ("uniform", "random", "random-delay"):
+            raise ValueError(
+                f"latency model {spec!r}: unknown kind {head!r} before ':' "
+                f"(options: 'unit', 'uniform:K', 'random:K')"
+            )
         try:
             value = int(tail)
         except ValueError:
             raise ValueError(
-                f"latency model {spec!r}: expected an integer after ':'"
+                f"latency model {spec!r}: expected an integer bound after "
+                f"'{head}:', got {tail!r}"
             ) from None
         if head == "uniform":
             return UniformLatency(value)
-        if head in ("random", "random-delay"):
-            if value == 1:
-                return UniformLatency(1)
-            return RandomDelayLatency(value, seed=seed)
+        if value == 1:
+            return UniformLatency(1)
+        return RandomDelayLatency(value, seed=seed)
     raise ValueError(
         f"unknown latency model {spec!r}; options: 'unit', 'uniform:K', 'random:K'"
     )

@@ -192,12 +192,39 @@ class FaultModel:
         return plan
 
 
-def _parse_number(tail: str, term: str, *, integer: bool):
+def _term_error(
+    spec: str, position: int, count: int, term: str, detail: str
+) -> ValueError:
+    """A parse error that pinpoints the failing term of a composed spec.
+
+    ``"drop:0.1+crash:2@x"`` fails somewhere in its second term; the
+    message must say *which* term and *what* text broke, or the user is
+    left diffing the whole spec by eye.
+    """
+    where = (
+        f"term {position} of {count} ({term!r})" if count > 1 else f"term {term!r}"
+    )
+    return ValueError(f"fault model {spec!r}: {where}: {detail}")
+
+
+def _parse_number(
+    text: str,
+    *,
+    integer: bool,
+    spec: str,
+    position: int,
+    count: int,
+    term: str,
+    what: str,
+):
     try:
-        return int(tail) if integer else float(tail)
+        return int(text) if integer else float(text)
     except ValueError:
         kind = "an integer" if integer else "a number"
-        raise ValueError(f"fault model term {term!r}: expected {kind} after ':'") from None
+        raise _term_error(
+            spec, position, count, term,
+            f"expected {kind} for {what}, got {text!r}",
+        ) from None
 
 
 def parse_fault_model(spec: "str | FaultModel | None", seed: int = 0) -> FaultModel | None:
@@ -226,44 +253,82 @@ def parse_fault_model(spec: "str | FaultModel | None", seed: int = 0) -> FaultMo
     crashes = 0
     crash_time = 0
     restart_after: int | None = None
-    seen: set[str] = set()
-    for term in text.split("+"):
-        term = term.strip()
+    terms = [term.strip() for term in text.split("+")]
+    total = len(terms)
+    seen: dict[str, int] = {}
+    for position, term in enumerate(terms, start=1):
         head, sep, tail = term.partition(":")
         if term == "none" or not sep:
-            raise ValueError(
-                f"fault model term {term!r}: expected 'drop:p', 'dup:p', "
-                f"'crash:k@r' or 'restart:d' ('none' stands alone)"
+            raise _term_error(
+                spec, position, total, term,
+                "expected 'drop:p', 'dup:p', 'crash:k@r' or 'restart:d' "
+                "('none' stands alone)",
             )
         if head in seen:
-            raise ValueError(f"fault model {spec!r}: repeated term {head!r}")
-        seen.add(head)
-        if head == "drop":
-            drop = _check_prob(_parse_number(tail, term, integer=False), "drop")
-        elif head == "dup":
-            dup = _check_prob(_parse_number(tail, term, integer=False), "dup")
-        elif head == "crash":
-            count, at_sep, when = tail.partition("@")
-            if not at_sep:
-                raise ValueError(
-                    f"fault model term {term!r}: expected 'crash:k@r' "
-                    f"(k crashes at/after time r)"
-                )
-            crashes = _parse_number(count, term, integer=True)
-            crash_time = _parse_number(when, term, integer=True)
-            if crashes < 1:
-                raise ValueError(f"fault model term {term!r}: crash count must be >= 1")
-            if crash_time < 0:
-                raise ValueError(f"fault model term {term!r}: crash time must be >= 0")
-        elif head == "restart":
-            restart_after = _parse_number(tail, term, integer=True)
-            if restart_after < 1:
-                raise ValueError(f"fault model term {term!r}: restart delay must be >= 1")
-        else:
-            raise ValueError(
-                f"unknown fault model term {term!r}; options: 'drop:p', 'dup:p', "
-                f"'crash:k@r', 'restart:d'"
+            raise _term_error(
+                spec, position, total, term,
+                f"repeats {head!r} (already given at term {seen[head]})",
             )
+        seen[head] = position
+        number = dict(spec=spec, position=position, count=total, term=term)
+        try:
+            if head == "drop":
+                drop = _check_prob(
+                    _parse_number(tail, integer=False, what="the drop probability",
+                                  **number),
+                    "drop",
+                )
+            elif head == "dup":
+                dup = _check_prob(
+                    _parse_number(tail, integer=False, what="the dup probability",
+                                  **number),
+                    "dup",
+                )
+            elif head == "crash":
+                crash_count, at_sep, when = tail.partition("@")
+                if not at_sep:
+                    raise _term_error(
+                        spec, position, total, term,
+                        "expected 'crash:k@r' (k crashes at/after time r)",
+                    )
+                crashes = _parse_number(
+                    crash_count, integer=True,
+                    what="the crash count (before '@')", **number,
+                )
+                crash_time = _parse_number(
+                    when, integer=True,
+                    what="the crash time (after '@')", **number,
+                )
+                if crashes < 1:
+                    raise _term_error(
+                        spec, position, total, term,
+                        f"crash count must be >= 1, got {crashes}",
+                    )
+                if crash_time < 0:
+                    raise _term_error(
+                        spec, position, total, term,
+                        f"crash time must be >= 0, got {crash_time}",
+                    )
+            elif head == "restart":
+                restart_after = _parse_number(
+                    tail, integer=True, what="the restart delay", **number,
+                )
+                if restart_after < 1:
+                    raise _term_error(
+                        spec, position, total, term,
+                        f"restart delay must be >= 1, got {restart_after}",
+                    )
+            else:
+                raise _term_error(
+                    spec, position, total, term,
+                    "unknown term (options: 'drop:p', 'dup:p', 'crash:k@r', "
+                    "'restart:d')",
+                )
+        except ValueError as exc:
+            if str(exc).startswith("fault model "):
+                raise
+            # _check_prob raises without term context; attach it here.
+            raise _term_error(spec, position, total, term, str(exc)) from None
     if restart_after is not None and not crashes:
         raise ValueError(f"fault model {spec!r}: restart requires a crash term")
     if not (drop or dup or crashes):

@@ -1,0 +1,9 @@
+import random
+import numpy as np
+
+
+def drive_demo(graph, seed, metrics):
+    source = random.choice(sorted(graph.nodes()))  # expect: D101
+    noise = np.random.rand()  # expect: D101
+    rng = random.Random()  # expect: D101
+    return {"noise": noise, "source": repr(source), "r": rng.random()}

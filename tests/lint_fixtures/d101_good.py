@@ -1,0 +1,7 @@
+import random
+
+
+def drive_demo(graph, seed, metrics):
+    rng = random.Random(seed)
+    source = rng.choice(sorted(graph.nodes()))
+    return {"source": repr(source)}

@@ -1,0 +1,5 @@
+def emit_rows(cells, rows):
+    pending = {cell for cell in cells if cell.dirty}
+    for cell in pending:  # expect: D103
+        rows.append(cell.row())
+    return list(set(cells))  # expect: D103

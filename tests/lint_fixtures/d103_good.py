@@ -1,0 +1,6 @@
+def emit_rows(cells, rows):
+    pending = {cell for cell in cells if cell.dirty}
+    for cell in sorted(pending, key=repr):
+        rows.append(cell.row())
+    total = sum(cell.n for cell in pending)
+    return sorted(set(cells), key=repr) + [total]

@@ -1,0 +1,7 @@
+import hashlib
+import json
+
+
+def digest(payload: dict) -> str:
+    text = json.dumps(payload)  # expect: D104
+    return hashlib.sha256(text.encode()).hexdigest()

@@ -1,0 +1,7 @@
+import hashlib
+import json
+
+
+def digest(payload: dict) -> str:
+    text = json.dumps(payload, sort_keys=True)
+    return hashlib.sha256(text.encode()).hexdigest()

@@ -1,0 +1,2 @@
+def drive_demo(graph, seed, metrics):
+    return {"probe_depth": metrics.summary()["rounds"]}

@@ -1,0 +1,2 @@
+def stable_nodes(nodes):
+    return sorted(nodes, key=repr)

@@ -1,0 +1,5 @@
+import os
+
+
+def horizon():
+    return int(os.environ.get("REPRO_HORIZON", "16"))  # expect: D107

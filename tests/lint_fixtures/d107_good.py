@@ -1,0 +1,2 @@
+def horizon(bound: int = 16) -> int:
+    return bound

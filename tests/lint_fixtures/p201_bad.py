@@ -1,0 +1,6 @@
+class Flood:
+    def on_round(self, ctx, inbox):
+        best = min(inbox.payloads, default=None)
+        inbox.senders.clear()  # expect: P201
+        if best is not None:
+            ctx.broadcast(best)

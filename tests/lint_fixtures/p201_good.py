@@ -1,0 +1,5 @@
+class Flood:
+    def on_round(self, ctx, inbox):
+        best = min(inbox.payloads, default=None)
+        if best is not None:
+            ctx.broadcast(best)

@@ -1,0 +1,4 @@
+class Flood:
+    def on_round(self, ctx, inbox):
+        self.ctx = ctx  # expect: P202
+        self.ctx.broadcast(1)

@@ -1,0 +1,4 @@
+class Flood:
+    def on_round(self, ctx, inbox):
+        self.last_round = ctx.round
+        ctx.broadcast(1)

@@ -1,0 +1,6 @@
+import random
+
+
+def drive_demo(graph, seed, metrics):
+    rng = random.Random(42)  # expect: P203
+    return {"draw": rng.random()}

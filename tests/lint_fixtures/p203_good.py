@@ -1,0 +1,6 @@
+import random
+
+
+def drive_demo(graph, seed, metrics):
+    rng = random.Random(seed)
+    return {"draw": rng.random()}

@@ -1,0 +1,5 @@
+def register(register_scenario, Scenario):
+    register_scenario(Scenario(
+        "demo/er", "er", "demo",
+        params=(("quanta", (1, 2)),),  # expect: P204
+    ))

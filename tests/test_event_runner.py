@@ -131,6 +131,18 @@ class TestLatencyModels:
             with pytest.raises(ValueError):
                 parse_latency_model(bad)
 
+    def test_parse_errors_name_the_offending_text(self):
+        with pytest.raises(
+            ValueError, match=r"expected an integer bound after 'uniform:', got 'x'"
+        ):
+            parse_latency_model("uniform:x")
+        with pytest.raises(
+            ValueError, match=r"expected an integer bound after 'random:', got ''"
+        ):
+            parse_latency_model("random:")
+        with pytest.raises(ValueError, match=r"unknown kind 'bogus' before ':'"):
+            parse_latency_model("bogus:3")
+
     def test_canonical_latency(self):
         assert canonical_latency("sync") == "unit"
         assert canonical_latency("uniform:1") == "unit"

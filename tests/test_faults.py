@@ -96,6 +96,30 @@ def test_malformed_specs_raise_value_error(bad):
         parse_fault_model(bad)
 
 
+def test_parse_errors_pinpoint_the_offending_term():
+    # A composed spec must name which term broke, its 1-based position,
+    # and the text that failed — not make the user diff the spec by eye.
+    with pytest.raises(ValueError, match=r"term 2 of 2 \('crash:2@x'\)") as exc:
+        parse_fault_model("drop:0.1+crash:2@x")
+    assert "expected an integer for the crash time (after '@'), got 'x'" in str(exc.value)
+
+    with pytest.raises(ValueError, match=r"term 3 of 3 \('restart:0'\)"):
+        parse_fault_model("drop:0.1+crash:2@5+restart:0")
+
+    with pytest.raises(ValueError, match=r"repeats 'drop' \(already given at term 1\)"):
+        parse_fault_model("drop:0.1+drop:0.2")
+
+    # Single-term specs name the term without position noise.
+    with pytest.raises(
+        ValueError, match=r"term 'drop:x'.*expected a number for the drop probability, got 'x'"
+    ):
+        parse_fault_model("drop:x")
+
+    # Range errors from probability checks carry the term context too.
+    with pytest.raises(ValueError, match=r"term 2 of 2 \('dup:1.5'\).*\[0, 1\)"):
+        parse_fault_model("drop:0.1+dup:1.5")
+
+
 # ----------------------------------------------------------------------
 # determinism: draws and crash plans are pure functions of their keys
 # ----------------------------------------------------------------------

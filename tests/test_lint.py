@@ -1,0 +1,306 @@
+"""``repro.lint``: rule engine, rule set, pragmas, CLI, and ``--plugins``."""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.__main__ import main
+from repro.lint import (
+    PRAGMA_RULE_ID,
+    RULES,
+    SYNTAX_RULE_ID,
+    Finding,
+    lint_paths,
+    lint_source,
+    resolve_rule_selection,
+)
+from repro.lint.rules import ROW_FIELDS_SNAPSHOT
+from repro.testing import subprocess_env
+
+FIXTURES = Path(__file__).parent / "lint_fixtures"
+SRC_REPRO = Path(__file__).parent.parent / "src" / "repro"
+SUBPROCESS_ENV = subprocess_env()
+
+RULE_IDS = [rule.id for rule in RULES]
+
+
+def expected_lines(source: str, rule_id: str) -> list:
+    """The 1-based lines a bad fixture marks with ``# expect: <id>``."""
+    return sorted(
+        lineno
+        for lineno, line in enumerate(source.splitlines(), start=1)
+        if f"# expect: {rule_id}" in line
+    )
+
+
+# ----------------------------------------------------------------------
+# golden fixtures: one violating and one clean snippet per rule
+# ----------------------------------------------------------------------
+class TestGoldenFixtures:
+    @pytest.mark.parametrize("rule", RULES, ids=RULE_IDS)
+    def test_fixture_files_pin_the_rule_examples(self, rule):
+        # The checked-in fixture *is* the rule's example attribute, so the
+        # two can never drift: editing one without the other fails here.
+        bad_file = FIXTURES / f"{rule.id.lower()}_bad.py"
+        good_file = FIXTURES / f"{rule.id.lower()}_good.py"
+        assert bad_file.read_text() == rule.example_bad
+        assert good_file.read_text() == rule.example_good
+
+    @pytest.mark.parametrize("rule", RULES, ids=RULE_IDS)
+    def test_bad_fixture_reports_the_marked_lines(self, rule):
+        marked = expected_lines(rule.example_bad, rule.id)
+        assert marked, f"{rule.id}: bad fixture carries no # expect markers"
+        findings = lint_source(rule.example_bad, path=f"{rule.id.lower()}_bad.py")
+        assert sorted(f.line for f in findings if f.rule == rule.id) == marked
+        # ... and nothing *else* fires: each fixture isolates its rule.
+        assert [f for f in findings if f.rule != rule.id] == []
+        for finding in findings:
+            assert finding.name == rule.name
+            assert finding.severity == rule.severity
+            assert finding.message
+
+    @pytest.mark.parametrize("rule", RULES, ids=RULE_IDS)
+    def test_good_fixture_is_clean_under_every_rule(self, rule):
+        assert lint_source(rule.example_good) == []
+
+    @pytest.mark.parametrize("rule", RULES, ids=RULE_IDS)
+    def test_cli_exits_1_on_each_bad_fixture(self, rule, capsys):
+        bad_file = FIXTURES / f"{rule.id.lower()}_bad.py"
+        assert main(["lint", str(bad_file)]) == 1
+        out = capsys.readouterr().out
+        assert rule.id in out
+        assert rule.name in out
+
+    def test_cli_exits_0_on_the_good_fixtures(self, capsys):
+        good = [str(FIXTURES / f"{rule.id.lower()}_good.py") for rule in RULES]
+        assert main(["lint", *good]) == 0
+        assert "clean" in capsys.readouterr().out
+
+
+# ----------------------------------------------------------------------
+# engine: pragmas, selection, meta rules
+# ----------------------------------------------------------------------
+BAD_SNIPPET = "import random\n\n\ndef f():\n    return random.random()\n"
+
+
+class TestPragmas:
+    def test_same_line_pragma_suppresses_with_reason(self):
+        source = (
+            "import random\n"
+            "\n"
+            "\n"
+            "def f():\n"
+            "    return random.random()  # repro: lint-ok[D101] demo of the pragma\n"
+        )
+        assert lint_source(source) == []
+
+    def test_comment_line_pragma_covers_the_next_line(self):
+        source = (
+            "import random\n"
+            "\n"
+            "\n"
+            "def f():\n"
+            "    # repro: lint-ok[D101] demo of the pragma\n"
+            "    return random.random()\n"
+        )
+        assert lint_source(source) == []
+
+    def test_pragma_without_reason_is_itself_a_finding(self):
+        source = BAD_SNIPPET.replace(
+            "random.random()", "random.random()  # repro: lint-ok[D101]"
+        )
+        findings = lint_source(source)
+        rules = {f.rule for f in findings}
+        # The bare pragma suppresses nothing and is reported itself.
+        assert rules == {PRAGMA_RULE_ID, "D101"}
+
+    def test_pragma_with_unknown_rule_id_is_a_finding(self):
+        source = BAD_SNIPPET.replace(
+            "random.random()",
+            "random.random()  # repro: lint-ok[D999] not a rule",
+        )
+        rules = {f.rule for f in lint_source(source)}
+        assert rules == {PRAGMA_RULE_ID, "D101"}
+
+    def test_pragma_suppresses_only_the_named_rules(self):
+        source = (
+            "import random\n"
+            "\n"
+            "\n"
+            "def f():\n"
+            "    random.seed(0)  # repro: lint-ok[D101] wrong id on purpose\n"
+        )
+        assert {f.rule for f in lint_source(source)} == {"D102"}
+
+    def test_one_pragma_can_name_several_rules(self):
+        source = (
+            "import os\n"
+            "import random\n"
+            "\n"
+            "\n"
+            "def f():\n"
+            "    # repro: lint-ok[D101,D107] fixture exercising a shared pragma\n"
+            "    return random.random(), os.getenv('HOME')\n"
+        )
+        assert lint_source(source) == []
+
+
+class TestSelection:
+    def test_select_runs_only_named_rules(self):
+        source = BAD_SNIPPET.replace(
+            "return random.random()", "random.seed(0)\n    return random.random()"
+        )
+        assert {f.rule for f in lint_source(source)} == {"D101", "D102"}
+        assert {f.rule for f in lint_source(source, select=("D102",))} == {"D102"}
+
+    def test_ignore_drops_named_rules(self):
+        assert lint_source(BAD_SNIPPET, ignore=("D101",)) == []
+
+    def test_family_prefix_selects_the_whole_family(self):
+        assert {f.rule for f in lint_source(BAD_SNIPPET, select=("P",))} == set()
+        assert {f.rule for f in lint_source(BAD_SNIPPET, select=("D",))} == {"D101"}
+
+    def test_unknown_rule_raises_value_error(self):
+        with pytest.raises(ValueError, match="BOGUS"):
+            resolve_rule_selection(("BOGUS",), None)
+        with pytest.raises(ValueError, match="--ignore"):
+            resolve_rule_selection(None, ("D999",))
+
+    def test_syntax_error_is_a_finding_not_a_crash(self):
+        findings = lint_source("def broken(:\n")
+        assert [f.rule for f in findings] == [SYNTAX_RULE_ID]
+        assert findings[0].line == 1
+
+    def test_exempt_paths_skip_the_rule(self):
+        timed = "import time\n\n\ndef f():\n    return time.time()\n"
+        assert {f.rule for f in lint_source(timed)} == {"D105"}
+        assert lint_source(timed, path="src/repro/bench.py") == []
+
+
+# ----------------------------------------------------------------------
+# CLI: exits, filtering, JSON schema
+# ----------------------------------------------------------------------
+class TestLintCLI:
+    def test_usage_errors_exit_2(self, capsys):
+        assert main(["lint"]) == 2
+        assert main(["lint", "--select", "BOGUS", str(FIXTURES)]) == 2
+        assert main(["lint", "/no/such/path"]) == 2
+        capsys.readouterr()
+
+    def test_select_filters_findings(self, capsys):
+        bad = str(FIXTURES / "d101_bad.py")
+        assert main(["lint", bad, "--select", "P"]) == 0
+        capsys.readouterr()
+        assert main(["lint", bad, "--ignore", "D101"]) == 0
+        capsys.readouterr()
+        assert main(["lint", bad, "--select", "D"]) == 1
+        capsys.readouterr()
+
+    def test_list_rules_prints_the_catalog(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule in RULES:
+            assert rule.id in out
+            assert rule.name in out
+
+    def test_list_rules_json(self, capsys):
+        assert main(["lint", "--list-rules", "--json"]) == 0
+        catalog = json.loads(capsys.readouterr().out)
+        assert [entry["id"] for entry in catalog] == RULE_IDS
+        assert all(entry["summary"] for entry in catalog)
+
+    def test_json_schema_round_trips(self, capsys):
+        bad = str(FIXTURES / "d104_bad.py")
+        assert main(["lint", bad, "--json"]) == 1
+        data = json.loads(capsys.readouterr().out)
+        assert data["version"] == 1
+        assert data["files_checked"] == [bad]
+        assert data["findings"]
+        for raw in data["findings"]:
+            finding = Finding.from_dict(raw)
+            assert finding.to_dict() == raw
+            assert finding.rule == "D104"
+
+    def test_self_lint_src_repro_is_clean(self):
+        # The acceptance gate CI enforces, kept honest in-process too.
+        findings, checked = lint_paths([str(SRC_REPRO)])
+        assert findings == []
+        assert len(checked) > 40
+
+    def test_cli_subprocess_end_to_end(self):
+        # One real process: the CI job invokes the same entry point.
+        result = subprocess.run(
+            [sys.executable, "-m", "repro", "lint", str(FIXTURES / "p203_bad.py")],
+            capture_output=True, text=True, env=SUBPROCESS_ENV,
+        )
+        assert result.returncode == 1
+        assert "P203" in result.stdout
+
+
+# ----------------------------------------------------------------------
+# --plugins: the registry gate
+# ----------------------------------------------------------------------
+ROGUE_PLUGIN = '''\
+import random
+
+from repro.api import AlgorithmSpec, register_algorithm_spec
+
+
+def drive_rogue(graph, seed, metrics):
+    return {"rogue_pick": random.random()}
+
+
+def register():
+    register_algorithm_spec(
+        AlgorithmSpec("rogue", "lint_rogue_plugin:drive_rogue",
+                      description="deliberately unseeded test plugin")
+    )
+'''
+
+
+class TestPluginsMode:
+    def test_builtin_registry_lints_clean(self):
+        result = subprocess.run(
+            [sys.executable, "-m", "repro", "lint", "--plugins"],
+            capture_output=True, text=True, env=SUBPROCESS_ENV,
+        )
+        assert result.returncode == 0, result.stdout + result.stderr
+        assert "clean" in result.stdout
+
+    def test_unseeded_plugin_driver_is_caught(self, tmp_path):
+        (tmp_path / "lint_rogue_plugin.py").write_text(ROGUE_PLUGIN)
+        env = dict(SUBPROCESS_ENV)
+        env["PYTHONPATH"] = str(tmp_path) + ":" + env["PYTHONPATH"]
+        env["REPRO_PLUGINS"] = "lint_rogue_plugin:register"
+        result = subprocess.run(
+            [sys.executable, "-m", "repro", "lint", "--plugins", "--json"],
+            capture_output=True, text=True, env=env,
+        )
+        assert result.returncode == 1, result.stdout + result.stderr
+        data = json.loads(result.stdout)
+        rogue = [f for f in data["findings"] if f["rule"] == "D101"]
+        assert rogue, data["findings"]
+        assert rogue[0]["path"].endswith("lint_rogue_plugin.py")
+        # The checked-file listing names which algorithms each file backs.
+        assert any("rogue" in entry for entry in data["files_checked"])
+
+
+# ----------------------------------------------------------------------
+# cross-pins against the live system
+# ----------------------------------------------------------------------
+class TestCrossPins:
+    def test_row_fields_snapshot_matches_experiments(self):
+        from repro.sim.experiments import ROW_FIELDS
+
+        assert ROW_FIELDS_SNAPSHOT == ROW_FIELDS
+
+    def test_rule_ids_are_unique_and_well_formed(self):
+        assert len(RULE_IDS) == len(set(RULE_IDS))
+        for rule in RULES:
+            assert rule.id[0] in ("D", "P")
+            assert rule.id[1:].isdigit()
+            assert rule.name and rule.summary
+            assert rule.severity in ("error", "warning")
