@@ -37,6 +37,7 @@ __all__ = [
     "WORKLOADS",
     "DEFAULT_EXPERIMENTS",
     "run_bench",
+    "bench_provenance",
     "write_bench",
     "load_bench",
     "compare_to_baseline",
@@ -164,10 +165,50 @@ def run_bench(
     return results
 
 
-def write_bench(results: dict[str, float], path: str | Path = "BENCH.json") -> Path:
-    """Persist ``{experiment: median_ms}`` (the PR-over-PR perf record)."""
+def bench_provenance(backend: str | None = None) -> dict:
+    """Provenance recorded alongside a refreshed baseline (``"_meta"``).
+
+    Answers "what produced these numbers" when a later gate run trips:
+    the resolved dispatch backend, the interpreter, and the numpy the
+    kernels saw (``None`` on a scalar-only box).  Provenance is metadata,
+    never a compared quantity — :func:`compare_to_baseline` only looks at
+    numeric entries, so old baselines without it and new ones with it
+    gate identically.
+    """
+    import platform
+    import sys
+
+    from . import __version__
+    from .sim.kernels import current_backend, numpy_or_none, use_backend
+
+    with use_backend(backend):
+        active = current_backend()
+    np = numpy_or_none()
+    return {
+        "backend": active,
+        "engines": ["round", "event"],
+        "numpy": getattr(np, "__version__", None),
+        "platform": sys.platform,
+        "python": platform.python_version(),
+        "version": __version__,
+    }
+
+
+def write_bench(
+    results: dict[str, float],
+    path: str | Path = "BENCH.json",
+    meta: dict | None = None,
+) -> Path:
+    """Persist ``{experiment: median_ms}`` (the PR-over-PR perf record).
+
+    ``meta`` lands under the ``"_meta"`` key — a non-numeric entry the
+    gate comparator skips by construction.
+    """
     target = Path(path)
-    target.write_text(json.dumps(results, indent=2, sort_keys=True) + "\n")
+    payload = dict(results)
+    if meta is not None:
+        payload["_meta"] = meta
+    target.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     return target
 
 

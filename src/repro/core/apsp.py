@@ -97,6 +97,12 @@ class _TracingMetrics(Metrics):
     The per-round position is approximated by the current accumulated round
     clock at send time: phases compose sequentially, so the clock at the
     moment a phase runs is exactly the round at which its messages travel.
+
+    Being a :class:`Metrics` *subclass* also disables batch kernels for
+    every phase run under it (see :func:`repro.sim.kernels.kernel_for`):
+    the per-send hook below observes individual sends, which the batch
+    path folds away — so APSP's traced relaxations always take the
+    scalar path, by the same gate that keeps the trace exact.
     """
 
     def __init__(self) -> None:

@@ -79,6 +79,7 @@ from heapq import heappop, heappush
 from ..graphs import Graph
 from ..graphs.indexed import IndexedGraph
 from .faults import FaultModel, parse_fault_model
+from .kernels import WAKE_HALT, WAKE_NEXT, kernel_for
 from .metrics import Metrics
 from .runner import _IDLE, _NONE, Context, Inbox, Mode, Runner, SimulationError
 
@@ -591,6 +592,10 @@ class EventRunner:
         fast = type(metrics) is Metrics
         uniform = self.latency.uniform_delay
         delays = None if uniform is not None else self.latency.port_delays(indexed)
+        # Batch kernels engage only under unit latency, where the event
+        # schedule coincides with the sync runner's rounds (the regime the
+        # differential suite pins).  All other gates live in kernel_for.
+        kernel = kernel_for(self) if uniform == 1 else None
 
         heap: list[int] = []
         slots: dict[int, _Slot] = {}
@@ -725,23 +730,49 @@ class EventRunner:
                 if not fast:
                     metrics.current_round = t
                 nxt = t + 1
-                for i in awake:
-                    if sleeping:
-                        awake_stamp[i] = t
-                    ctx = contexts[i]
-                    ctx.round = t
-                    ctx._next_wake = None
-                    box = inboxes[i]
-                    on_rounds[i](ctx, box)
-                    if box.senders:
-                        box.senders.clear()
-                        box.payloads.clear()
-                    wake = ctx._next_wake
-                    if ctx._halted or wake is _IDLE:
-                        continue
-                    s = wake if wake is not None else nxt
-                    next_wake[i] = s
-                    slot_for(s).wakes.append(i)
+                codes = None
+                if kernel is not None:
+                    codes = kernel.on_round_batch(
+                        t, awake, inboxes,
+                        out_ports, out_payloads, bcast_src, bcast_payloads,
+                    )
+                if codes is not None:
+                    for k, i in enumerate(awake):
+                        if sleeping:
+                            awake_stamp[i] = t
+                        box = inboxes[i]
+                        if box.senders:
+                            box.senders.clear()
+                            box.payloads.clear()
+                        wake = codes[k]
+                        if wake == WAKE_NEXT:
+                            s = nxt
+                        elif wake >= 0:
+                            s = wake
+                        else:
+                            if wake == WAKE_HALT:
+                                contexts[i]._halted = True
+                            continue  # halted or idle: no wake scheduled
+                        next_wake[i] = s
+                        slot_for(s).wakes.append(i)
+                else:
+                    for i in awake:
+                        if sleeping:
+                            awake_stamp[i] = t
+                        ctx = contexts[i]
+                        ctx.round = t
+                        ctx._next_wake = None
+                        box = inboxes[i]
+                        on_rounds[i](ctx, box)
+                        if box.senders:
+                            box.senders.clear()
+                            box.payloads.clear()
+                        wake = ctx._next_wake
+                        if ctx._halted or wake is _IDLE:
+                            continue
+                        s = wake if wake is not None else nxt
+                        next_wake[i] = s
+                        slot_for(s).wakes.append(i)
                 for i in awake:
                     metrics.record_awake(labels[i], self.round_width)
 
@@ -854,6 +885,8 @@ class EventRunner:
                     stop_reason = "message_budget"
                     break
 
+        if kernel is not None:
+            kernel.finalize()
         final_time = (last_step + 1) * self.round_width
         metrics.record_rounds(final_time)
         self.stop_reason = stop_reason

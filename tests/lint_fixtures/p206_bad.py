@@ -1,0 +1,7 @@
+class Kernel:
+    def on_round_batch(self, r, awake, inboxes, out_ports,
+                       out_payloads, bcast_src, bcast_payloads):
+        for i in awake:
+            inboxes[i].clear()  # expect: P206
+            self._wt[i] = 0  # expect: P206
+        return [-2] * len(awake)

@@ -255,8 +255,14 @@ class TestBenchCLI:
         out = capsys.readouterr().out
         assert "smoke" in out
         data = json.loads(target.read_text())
-        assert set(data) == {"smoke"}
+        assert set(data) == {"smoke", "_meta"}
         assert data["smoke"] > 0
+        # The provenance block records what produced the numbers; the
+        # quick-gate comparator skips it (non-numeric) by construction.
+        from repro.sim.kernels import current_backend
+
+        assert data["_meta"]["backend"] == current_backend()
+        assert data["_meta"]["python"]
 
     def test_bench_json_output(self, tmp_path, capsys):
         target = tmp_path / "BENCH.json"

@@ -1,0 +1,184 @@
+"""Batch kernels: the backend knob and the metering-parity contract.
+
+The contract under test (see :mod:`repro.sim.kernels`): the ``backend``
+knob is provenance, not physics.  Scalar and numpy dispatch must produce
+byte-identical rows, serialized metrics, and final algorithm state —
+across the whole scenario catalog, both engines, the fault plane, any
+worker count, and resume (a store written under one backend resumes
+under the other).  On a numpy-less interpreter every ``"numpy"`` request
+resolves to scalar, so this entire module passes unchanged there — that
+graceful-fallback leg is what the CI no-numpy matrix job runs.
+"""
+
+import pytest
+
+from repro import graphs
+from repro.api import SweepSpec, run_sweep_spec
+from repro.core.bfs import WeightedBFS
+from repro.sim import Metrics, Mode, Runner
+from repro.sim import kernels
+from repro.sim.kernels import (
+    available_backends,
+    current_backend,
+    default_backend,
+    kernel_for,
+    set_backend,
+    use_backend,
+)
+
+
+def _graph(n=18, seed=3):
+    g = graphs.random_connected_graph(n, extra_edge_prob=0.2, seed=seed)
+    return graphs.random_weights(g, 9, seed=seed)
+
+
+def _bfs_state(n=18, seed=3, backend="scalar"):
+    g = _graph(n, seed)
+    algs = {u: WeightedBFS(u, 10 ** 6, source_offset=0 if u == 0 else None,
+                           collect_parent=True)
+            for u in g.nodes()}
+    metrics = Metrics()
+    with use_backend(backend):
+        Runner(g, algs, Mode.CONGEST, metrics=metrics).run()
+    return metrics.to_dict(), {u: (a.dist, a.parent) for u, a in algs.items()}
+
+
+# ----------------------------------------------------------------------
+# the knob
+# ----------------------------------------------------------------------
+class TestBackendKnob:
+    def test_default_tracks_numpy_availability(self):
+        expected = "numpy" if kernels.numpy_or_none() is not None else "scalar"
+        assert default_backend() == expected
+        assert set(available_backends()) <= {"scalar", "numpy"}
+        assert "scalar" in available_backends()
+
+    def test_set_backend_rejects_unknown_names(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            set_backend("cuda")
+
+    def test_use_backend_restores_the_previous_request(self):
+        before = current_backend()
+        with use_backend("scalar"):
+            assert current_backend() == "scalar"
+        assert current_backend() == before
+
+    def test_numpy_request_without_numpy_falls_back_to_scalar(self, monkeypatch):
+        monkeypatch.setattr(kernels, "_np", None)
+        with use_backend("numpy"):
+            assert current_backend() == "scalar"
+        assert available_backends() == ("scalar",)
+        assert default_backend() == "scalar"
+
+    def test_spec_validates_backend_spelling(self):
+        from repro.api import SpecError
+
+        with pytest.raises(SpecError, match="backend"):
+            SweepSpec(backend="cuda").validate()
+        # "numpy" stays a VALID spec even without numpy — availability is
+        # resolved at run time, so one spec file serves the whole matrix.
+        assert SweepSpec(backend="numpy").validate().backend == "numpy"
+
+
+# ----------------------------------------------------------------------
+# dispatch gates
+# ----------------------------------------------------------------------
+class TestKernelGates:
+    def _runner(self, **kwargs):
+        g = _graph(12, seed=1)
+        algs = {u: WeightedBFS(u, 10 ** 6, source_offset=0 if u == 0 else None)
+                for u in g.nodes()}
+        return Runner(g, algs, Mode.CONGEST, **kwargs)
+
+    def test_scalar_backend_disables_kernels(self):
+        with use_backend("scalar"):
+            assert kernel_for(self._runner()) is None
+
+    def test_numpy_backend_builds_a_kernel(self):
+        if kernels.numpy_or_none() is None:
+            pytest.skip("no numpy: backend resolves to scalar")
+        with use_backend("numpy"):
+            assert kernel_for(self._runner()) is not None
+
+    def test_edge_capacity_gate(self):
+        with use_backend("numpy"):
+            assert kernel_for(self._runner(edge_capacity=2)) is None
+
+    def test_heterogeneous_roster_gate(self):
+        g = graphs.path_graph(6)
+
+        class Other(WeightedBFS):
+            pass
+
+        algs = {u: (Other if u == 0 else WeightedBFS)(u, 10 ** 6,
+                source_offset=0 if u == 0 else None) for u in g.nodes()}
+        with use_backend("numpy"):
+            assert kernel_for(Runner(g, algs, Mode.CONGEST)) is None
+
+
+# ----------------------------------------------------------------------
+# metering parity: the differential contract
+# ----------------------------------------------------------------------
+def _sweep_store(tmp_path, tag, **fields):
+    """Run a sweep into a JSONL store; return (rows, store bytes)."""
+    out = tmp_path / f"{tag}.jsonl"
+    rows = run_sweep_spec(SweepSpec(output=str(out), **fields))
+    return rows, out.read_bytes()
+
+
+class TestBackendParity:
+    CATALOG = dict(scenarios=None, sizes=(12, 18), seeds=(0,), workers=1)
+
+    def test_runner_state_and_metrics_identical(self):
+        assert _bfs_state(backend="scalar") == _bfs_state(backend="numpy")
+
+    def test_full_catalog_stores_are_byte_identical(self, tmp_path):
+        _, scalar = _sweep_store(tmp_path, "scalar", backend="scalar",
+                                 **self.CATALOG)
+        _, vector = _sweep_store(tmp_path, "numpy", backend="numpy",
+                                 **self.CATALOG)
+        assert scalar == vector
+
+    def test_event_engine_stores_are_byte_identical(self, tmp_path):
+        fields = dict(self.CATALOG, engine="event", sizes=(12,))
+        _, scalar = _sweep_store(tmp_path, "ev-scalar", backend="scalar",
+                                 **fields)
+        _, vector = _sweep_store(tmp_path, "ev-numpy", backend="numpy",
+                                 **fields)
+        assert scalar == vector
+
+    def test_fault_plane_stores_are_byte_identical(self, tmp_path):
+        # Kernels gate themselves out for fault models that draw per
+        # delivered message; the knob must still be a no-op on rows.
+        fields = dict(self.CATALOG, fault_model="drop:0.1", sizes=(12,))
+        _, scalar = _sweep_store(tmp_path, "fault-scalar", backend="scalar",
+                                 **fields)
+        _, vector = _sweep_store(tmp_path, "fault-numpy", backend="numpy",
+                                 **fields)
+        assert scalar == vector
+
+    def test_worker_counts_do_not_leak_into_rows(self, tmp_path):
+        fields = dict(scenarios=("sssp/path", "bfs/grid", "boruvka/er"),
+                      sizes=(12, 18), seeds=(0,))
+        rows1, _ = _sweep_store(tmp_path, "w1", backend="numpy",
+                                workers=1, **fields)
+        rows3, _ = _sweep_store(tmp_path, "w3", backend="numpy",
+                                workers=3, **fields)
+        rows3s, _ = _sweep_store(tmp_path, "w3s", backend="scalar",
+                                 workers=3, **fields)
+        assert rows1 == rows3 == rows3s
+
+    def test_resume_crosses_backends(self, tmp_path):
+        # backend is never digested: cells written under scalar are reused
+        # verbatim when the sweep resumes under numpy, and the stitched
+        # table equals a single-backend run.
+        out = tmp_path / "resume.jsonl"
+        fields = dict(scenarios=("sssp/path", "labeled-bfs/grid"),
+                      sizes=(12, 18), workers=1, output=str(out))
+        run_sweep_spec(SweepSpec(seeds=(0,), backend="scalar", **fields))
+        resumed = run_sweep_spec(
+            SweepSpec(seeds=(0, 1), backend="numpy", **fields))
+        fresh = run_sweep_spec(
+            SweepSpec(seeds=(0, 1), backend="scalar",
+                      **{**fields, "output": None}))
+        assert resumed == fresh
