@@ -34,10 +34,13 @@ Commands
     Compile recorded experiment tables into one Markdown document.
 ``lint``
     Static determinism/contract analysis (see :mod:`repro.lint`):
-    ``repro lint src/repro`` checks paths, ``--plugins`` resolves the
-    algorithm registry (entry points + ``REPRO_PLUGINS``) and lints the
-    driver/oracle source behind it, ``--select/--ignore`` filter rules,
-    ``--list-rules`` prints the catalog.  Exit 0 clean, 1 findings,
+    ``repro lint src/repro`` checks paths (per-file rules plus the
+    whole-program flow pass; ``--no-flow`` skips the latter),
+    ``--plugins`` resolves the algorithm registry (entry points +
+    ``REPRO_PLUGINS``) and lints the driver/oracle source behind it,
+    ``--select/--ignore`` filter rules, ``--list-rules`` prints the
+    catalog, ``--output sarif`` emits SARIF 2.1.0, ``--cache FILE``
+    keeps a content-hash incremental cache.  Exit 0 clean, 1 findings,
     2 usage.
 
 ``sweep``, ``bench``, and ``report`` accept ``--spec FILE`` (a JSON spec
@@ -426,10 +429,18 @@ def _cmd_report(args, parser) -> int:
 
 
 def _cmd_lint(args, parser) -> int:
-    from repro.lint import RULES, lint_paths, lint_plugins, resolve_rule_selection
+    from repro.lint import (
+        LintCache,
+        RULES,
+        lint_paths,
+        lint_plugins,
+        render_sarif,
+        resolve_rule_selection,
+    )
 
+    output = args.output or ("json" if args.json else "text")
     if args.list_rules:
-        if args.json:
+        if output == "json":
             print(json.dumps([
                 {
                     "id": rule.id,
@@ -452,20 +463,26 @@ def _cmd_lint(args, parser) -> int:
     if not args.paths and not args.plugins:
         parser.error("lint needs at least one path (or --plugins / --list-rules)")
 
+    flow = not args.no_flow
+    cache = LintCache(args.cache) if args.cache else None
     findings = []
     checked: list[str] = []
+    stats: dict = {}
     if args.paths:
         try:
             path_findings, path_checked = lint_paths(
-                args.paths, select=args.select, ignore=args.ignore
+                args.paths, select=args.select, ignore=args.ignore,
+                flow=flow, cache=cache, stats=stats,
             )
         except FileNotFoundError as exc:
             parser.error(str(exc))
         findings.extend(path_findings)
         checked.extend(path_checked)
     if args.plugins:
+        plugin_stats: dict = {}
         plugin_findings, plugin_checked = lint_plugins(
-            select=args.select, ignore=args.ignore
+            select=args.select, ignore=args.ignore, flow=flow,
+            stats=plugin_stats,
         )
         # Paths already linted above stay deduplicated: a built-in driver
         # under a linted directory should not report twice.
@@ -474,17 +491,35 @@ def _cmd_lint(args, parser) -> int:
             if finding.path not in seen_paths:
                 findings.append(finding)
         checked.extend(plugin_checked)
+        if plugin_stats.get("flow") and not stats.get("flow"):
+            stats["flow"] = plugin_stats["flow"]
 
     findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
-    if args.json:
+    flow_stats = stats.get("flow")
+    if output == "json":
         print(json.dumps({
             "version": 1,
             "files_checked": checked,
             "findings": [finding.to_dict() for finding in findings],
+            "flow": flow_stats,
+            "cache": stats.get("cache"),
         }, indent=2))
+        return 1 if findings else 0
+    if output == "sarif":
+        import repro
+
+        print(render_sarif(findings, RULES, repro.__version__))
         return 1 if findings else 0
     for finding in findings:
         print(finding.render())
+    if flow_stats and flow_stats.get("unresolved_edges"):
+        print(
+            f"note: flow analysis left {flow_stats['unresolved_edges']} "
+            "call edge(s) unresolved; F rules degrade to silence only on "
+            "evidence, so unresolved callees are assumed to consume their "
+            "arguments",
+            file=sys.stderr,
+        )
     noun = "file" if len(checked) == 1 else "files"
     if findings:
         print(f"{len(findings)} finding(s) in {len(checked)} {noun} checked")
@@ -590,6 +625,16 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument("--plugins", action="store_true",
                       help="resolve the algorithm registry (entry points + "
                       "REPRO_PLUGINS) and lint the driver/oracle source behind it")
+    lint.add_argument("--no-flow", action="store_true",
+                      help="skip the whole-program flow analysis (F rules); "
+                      "per-file rules still run")
+    lint.add_argument("--output", choices=("text", "json", "sarif"),
+                      help="output format (default text; sarif emits a "
+                      "SARIF 2.1.0 log for code-scanning upload)")
+    lint.add_argument("--cache", metavar="FILE",
+                      help="content-hash incremental cache: unchanged files "
+                      "replay recorded findings; flow findings replay only "
+                      "when the transitive import closure is unchanged")
     lint.add_argument("--list-rules", action="store_true",
                       help="print the rule catalog and exit")
     lint.add_argument("--json", action="store_true", help="machine-readable output")

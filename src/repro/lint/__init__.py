@@ -4,13 +4,19 @@
 that every byte-identity guarantee rests on: seeded draws only, no global
 RNG or wall-clock in measured paths, sorted iteration wherever order can
 reach a row or digest, JSON-safe scenario params, and the Algorithm/driver
-contracts of :mod:`repro.sim`.  See :mod:`repro.lint.engine` for the rule
-engine and pragma syntax, :mod:`repro.lint.rules` for the rule set, and
+contracts of :mod:`repro.sim`.  The F rules go further: they build a
+whole-program model (:mod:`repro.lint.project`), run interprocedural
+seed/nondeterminism taint over it (:mod:`repro.lint.flow`), and check
+fork-boundary discipline across process spawns (:mod:`repro.lint.frules`).
+See :mod:`repro.lint.engine` for the rule engine and pragma syntax,
+:mod:`repro.lint.rules` for the per-file rule set, and
 ``repro lint --list-rules`` for the live catalog.
 """
 
+from .cache import LintCache
 from .engine import (
     Finding,
+    FlowRule,
     PRAGMA_RULE_ID,
     Rule,
     SYNTAX_RULE_ID,
@@ -21,15 +27,19 @@ from .engine import (
 )
 from .plugins import RESOLVE_RULE_ID, lint_plugins
 from .rules import RULES
+from .sarif import render_sarif
 
 __all__ = [
     "Finding",
     "Rule",
+    "FlowRule",
     "RULES",
+    "LintCache",
     "lint_source",
     "lint_file",
     "lint_paths",
     "lint_plugins",
+    "render_sarif",
     "resolve_rule_selection",
     "SYNTAX_RULE_ID",
     "PRAGMA_RULE_ID",

@@ -1,0 +1,153 @@
+"""Content-hash incremental cache for ``repro lint --cache``.
+
+Two granularities, matching the two cost centers of a lint run:
+
+* **Per-file visitor findings** are keyed by the blake2 digest of the
+  file's bytes plus the active-rule-set key (sorted rule ids + whether
+  flow is on + the cache format version).  An unchanged file under an
+  unchanged rule set skips the visitor pass entirely; its recorded
+  findings are replayed.  Changing ``--select``/``--ignore`` or
+  upgrading the rule catalog changes the key and drops the whole cache —
+  stale findings can never leak across rule sets.
+* **Flow findings** are whole-project: the F rules read the call graph,
+  so a change in *any* file a module transitively imports can change
+  that module's findings.  Each file therefore records its project-
+  internal import dependencies; the cached flow findings are replayed
+  only when every linted file *and its transitive import closure* is
+  byte-identical.  One edited helper invalidates every dependent — via
+  the import graph, not a timestamp guess — and the flow pass re-runs.
+
+The cache file is a single JSON document; a missing, unreadable, or
+version-skewed file degrades to an empty cache, never to an error.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+
+from .engine import Finding
+
+__all__ = ["LintCache"]
+
+_VERSION = 1
+
+
+def _digest(source: str) -> str:
+    return hashlib.blake2b(source.encode("utf-8"), digest_size=16).hexdigest()
+
+
+class LintCache:
+    """Load/validate/update one ``--cache`` file across a lint run."""
+
+    def __init__(self, path: "str | Path") -> None:
+        self.path = Path(path)
+        self.stats = {"hits": 0, "misses": 0, "flow": None}
+        self._files: dict[str, dict] = {}
+        self._ruleset: str | None = None
+        self._current: dict[str, str] = {}  # path -> digest seen this run
+        try:
+            data = json.loads(self.path.read_text(encoding="utf-8"))
+            if data.get("version") == _VERSION:
+                self._files = data.get("files", {})
+                self._ruleset = data.get("ruleset")
+        except (OSError, ValueError):
+            pass
+
+    # -- run lifecycle ---------------------------------------------------
+
+    def begin(self, active_rule_ids: list, flow: bool) -> None:
+        key = _digest(json.dumps([_VERSION, sorted(active_rule_ids), bool(flow)]))
+        if self._ruleset != key:
+            self._files = {}  # different rule set: nothing is reusable
+        self._ruleset = key
+
+    def save(self) -> None:
+        payload = {
+            "version": _VERSION,
+            "ruleset": self._ruleset,
+            "files": self._files,
+        }
+        try:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self.path.write_text(
+                json.dumps(payload, sort_keys=True, indent=1), encoding="utf-8"
+            )
+        except OSError:
+            pass  # an unwritable cache must never fail the lint
+
+    # -- per-file visitor findings --------------------------------------
+
+    def lookup(self, path: str, source: str) -> list | None:
+        digest = _digest(source)
+        self._current[path] = digest
+        entry = self._files.get(path)
+        if entry is None or entry.get("digest") != digest:
+            self.stats["misses"] += 1
+            return None
+        self.stats["hits"] += 1
+        return [Finding.from_dict(item) for item in entry.get("findings", [])]
+
+    def store(self, path: str, source: str, findings: list) -> None:
+        digest = _digest(source)
+        self._current[path] = digest
+        self._files[path] = {
+            "digest": digest,
+            "findings": [finding.to_dict() for finding in findings],
+        }
+
+    # -- whole-project flow findings ------------------------------------
+
+    def _file_unchanged(self, path: str) -> bool:
+        entry = self._files.get(path)
+        if entry is None:
+            return False
+        digest = self._current.get(path)
+        if digest is None:  # a dependency outside the linted set
+            try:
+                digest = _digest(Path(path).read_text(encoding="utf-8"))
+            except OSError:
+                return False
+            self._current[path] = digest
+        return entry.get("digest") == digest
+
+    def lookup_flow(self, checked: list) -> list | None:
+        """Replay cached flow findings iff every import closure is intact."""
+        seen: set[str] = set()
+        frontier = list(checked)
+        while frontier:
+            path = frontier.pop()
+            if path in seen:
+                continue
+            seen.add(path)
+            entry = self._files.get(path)
+            if entry is None or "flow_findings" not in entry:
+                self.stats["flow"] = "recomputed"
+                return None
+            if not self._file_unchanged(path):
+                self.stats["flow"] = "recomputed"
+                return None
+            frontier.extend(entry.get("deps", ()))
+        findings: list = []
+        for path in checked:
+            for item in self._files[path].get("flow_findings", ()):
+                findings.append(Finding.from_dict(item))
+        self.stats["flow"] = "reused"
+        return findings
+
+    def store_flow(self, model, checked: list, findings: list) -> None:
+        by_path: dict[str, list] = {path: [] for path in checked}
+        for finding in findings:
+            by_path.setdefault(finding.path, []).append(finding.to_dict())
+        deps = model.import_dependencies() if model is not None else {}
+        for path in checked:
+            entry = self._files.setdefault(path, {})
+            if "digest" not in entry:
+                digest = self._current.get(path)
+                if digest is None:
+                    continue
+                entry["digest"] = digest
+            entry["flow_findings"] = by_path.get(path, [])
+            entry["deps"] = sorted(deps.get(path, ()))
+        self.stats["flow"] = self.stats["flow"] or "recomputed"

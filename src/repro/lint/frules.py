@@ -1,0 +1,604 @@
+"""The F-rule family: project-wide flow findings on top of the call graph.
+
+These rules are :class:`~repro.lint.engine.FlowRule` subclasses — they
+run once per lint invocation over the whole :class:`ProjectModel`
+instead of once per file, which is what lets them follow a seed across
+function boundaries (F301), a nondeterministic value into a digest two
+calls away (F302), a shared CSR column into a mutating callee (F303),
+and pipe/shm ownership across a fork (F304).  Each generalizes a
+single-file rule that caught the same bug class locally: F301 extends
+P203, F302 extends D103–D107, F303 extends P206, F304 extends the
+one-writer discipline documented in :mod:`repro.api.run`.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from .engine import Finding, FlowRule
+from .flow import TAINT_TEXT, FlowAnalysis, MUTATOR_METHODS
+from .project import FunctionInfo, ProjectModel, _dotted
+
+__all__ = ["FLOW_RULES"]
+
+_RNG_FACTORIES = (
+    "random.Random",
+    "numpy.random.default_rng",
+    "numpy.random.RandomState",
+)
+
+_MUTABLE_FACTORIES = frozenset(
+    {"dict", "list", "set", "defaultdict", "deque", "OrderedDict", "Counter"}
+)
+
+
+def _expanded(module, qual: str | None) -> str | None:
+    if qual is None:
+        return None
+    head, _, rest = qual.partition(".")
+    target = module.imports.get(head)
+    if target is None:
+        return qual
+    return f"{target}.{rest}" if rest else target
+
+
+def _contains_names(node: ast.AST) -> bool:
+    return any(
+        isinstance(child, (ast.Name, ast.Attribute)) for child in ast.walk(node)
+    )
+
+
+def _finding(rule, info: FunctionInfo, node: ast.AST, message: str) -> Finding:
+    return Finding(
+        rule=rule.id,
+        name=rule.name,
+        severity=rule.severity,
+        path=info.path,
+        line=getattr(node, "lineno", 1),
+        col=getattr(node, "col_offset", 0),
+        message=message,
+    )
+
+
+def _is_driver(info: FunctionInfo) -> bool:
+    params = info.bindable_params
+    return info.name.startswith("drive_") or params[:3] == [
+        "graph",
+        "seed",
+        "metrics",
+    ]
+
+
+def _p203_territory(module, info: FunctionInfo) -> bool:
+    """Whether P203 already reports this function (constant-seeded RNG).
+
+    F301 and P203 are the same bug at different distances; when the
+    constant-argument factory is right there in the body, the visitor
+    rule owns the report and F301 stays quiet instead of double-firing.
+    """
+    for sub in ast.walk(info.node):
+        if not (isinstance(sub, ast.Call) and sub.args):
+            continue
+        if _expanded(module, _dotted(sub.func)) not in _RNG_FACTORIES:
+            continue
+        if not any(_contains_names(arg) for arg in sub.args):
+            return True
+    return False
+
+
+class SeedLaundering(FlowRule):
+    id = "F301"
+    name = "seed-laundering"
+    severity = "error"
+    summary = (
+        "a driver's seed parameter never transitively reaches an "
+        "RNG/keyed-hash sink: every cell of the seed axis repeats one run"
+    )
+    example_bad = (
+        "def pick_source(nodes, seed):\n"
+        "    return nodes[0]\n"
+        "\n"
+        "\n"
+        "def drive_demo(graph, seed, metrics):  # expect: F301\n"
+        "    nodes = sorted(graph.nodes(), key=repr)\n"
+        "    return {\"probe\": repr(pick_source(nodes, seed))}\n"
+    )
+    example_good = (
+        "import random\n"
+        "\n"
+        "\n"
+        "def pick_source(nodes, seed):\n"
+        "    rng = random.Random(seed)\n"
+        "    return nodes[rng.randrange(len(nodes))]\n"
+        "\n"
+        "\n"
+        "def drive_demo(graph, seed, metrics):\n"
+        "    nodes = sorted(graph.nodes(), key=repr)\n"
+        "    return {\"probe\": repr(pick_source(nodes, seed))}\n"
+    )
+
+    @classmethod
+    def check(cls, model: ProjectModel) -> list:
+        analysis = FlowAnalysis.of(model)
+        findings = []
+        for info in sorted(model.functions.values(), key=lambda f: f.qualname):
+            if not isinstance(info.node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if "seed" not in info.params or not _is_driver(info):
+                continue
+            module = model.modules[info.module]
+            if _p203_territory(module, info):
+                continue
+            summary = analysis.summary_for(info)
+            if "seed" in summary.consumes:
+                continue
+            handoffs = analysis.handoffs.get(info.qualname, {}).get("seed", [])
+            if handoffs:
+                into = ", ".join(f"{name}()" for name in handoffs)
+                detail = (
+                    f"seed flows only into {into}, which never passes it to "
+                    f"an RNG or keyed hash"
+                )
+            else:
+                detail = "seed is never read"
+            findings.append(
+                _finding(
+                    cls,
+                    info,
+                    info.node,
+                    f"{detail} — every cell of the seed axis repeats the "
+                    f"same run (seed laundering)",
+                )
+            )
+        return findings
+
+
+class NondetDigestInput(FlowRule):
+    id = "F302"
+    name = "nondet-digest-input"
+    severity = "error"
+    summary = (
+        "a nondeterministic value (set order, wall clock, environment, "
+        "id()) transitively reaches a digest/resume-key sink"
+    )
+    example_bad = (
+        "import hashlib\n"
+        "import json\n"
+        "\n"
+        "\n"
+        "def dirty_tags(row):\n"
+        "    return {tag for tag in row[\"tags\"]}\n"
+        "\n"
+        "\n"
+        "def canonical_digest(values):\n"
+        "    payload = json.dumps(values, sort_keys=True)\n"
+        "    return hashlib.sha256(payload.encode(\"utf-8\")).hexdigest()\n"
+        "\n"
+        "\n"
+        "def resume_key(row):\n"
+        "    tags = list(dirty_tags(row))\n"
+        "    return canonical_digest(tags)  # expect: F302\n"
+    )
+    example_good = (
+        "import hashlib\n"
+        "import json\n"
+        "\n"
+        "\n"
+        "def dirty_tags(row):\n"
+        "    return {tag for tag in row[\"tags\"]}\n"
+        "\n"
+        "\n"
+        "def canonical_digest(values):\n"
+        "    payload = json.dumps(values, sort_keys=True)\n"
+        "    return hashlib.sha256(payload.encode(\"utf-8\")).hexdigest()\n"
+        "\n"
+        "\n"
+        "def resume_key(row):\n"
+        "    tags = sorted(dirty_tags(row))\n"
+        "    return canonical_digest(tags)\n"
+    )
+
+    @classmethod
+    def check(cls, model: ProjectModel) -> list:
+        analysis = FlowAnalysis.of(model)
+        findings = []
+        seen = set()
+        for info, node, kind, detail in analysis.digest_flows:
+            key = (info.path, getattr(node, "lineno", 1), kind)
+            if key in seen:
+                continue
+            seen.add(key)
+            findings.append(
+                _finding(
+                    cls,
+                    info,
+                    node,
+                    f"{TAINT_TEXT.get(kind, kind)} {detail}; digests and "
+                    f"resume keys must hash canonical data only",
+                )
+            )
+        return findings
+
+
+class SharedArrayMutation(FlowRule):
+    id = "F303"
+    name = "shared-array-mutation"
+    severity = "error"
+    summary = (
+        "a CSR/shm-backed column is passed down a call chain and mutated "
+        "in a callee — corrupts every later task on the shared plane"
+    )
+    example_bad = (
+        "def scale_weights(column, factor):\n"
+        "    for index in range(len(column)):\n"
+        "        column[index] = column[index] * factor\n"
+        "\n"
+        "\n"
+        "class Kernel:\n"
+        "    def __init__(self, graph):\n"
+        "        self._wt = graph.wt\n"
+        "\n"
+        "    def rescale(self, factor):\n"
+        "        scale_weights(self._wt, factor)  # expect: F303\n"
+    )
+    example_good = (
+        "def scaled_copy(column, factor):\n"
+        "    return [value * factor for value in column]\n"
+        "\n"
+        "\n"
+        "class Kernel:\n"
+        "    def __init__(self, graph):\n"
+        "        self._wt = graph.wt\n"
+        "\n"
+        "    def rescale(self, factor):\n"
+        "        return scaled_copy(self._wt, factor)\n"
+    )
+
+    @classmethod
+    def check(cls, model: ProjectModel) -> list:
+        analysis = FlowAnalysis.of(model)
+        findings = []
+        seen = set()
+        for info, node, detail in analysis.csr_flows:
+            key = (info.path, getattr(node, "lineno", 1))
+            if key in seen:
+                continue
+            seen.add(key)
+            findings.append(
+                _finding(
+                    cls,
+                    info,
+                    node,
+                    f"{detail}; CSR/shm-backed columns are shared read-only "
+                    f"views — copy before writing",
+                )
+            )
+        return findings
+
+
+class ForkBoundaryHazard(FlowRule):
+    id = "F304"
+    name = "fork-boundary-hazard"
+    severity = "error"
+    summary = (
+        "worker-side code writing supervisor-owned state: a second writer "
+        "on a one-writer pipe, a worker-side shm unlink, or a fork-captured "
+        "mutable mutated after the fork"
+    )
+    example_bad = (
+        "from multiprocessing import Pipe, Process, shared_memory\n"
+        "\n"
+        "\n"
+        "def worker(results, segment, cache):\n"
+        "    cache[\"warm\"] = True  # expect: F304\n"
+        "    shm = shared_memory.SharedMemory(name=segment)\n"
+        "    results.send(bytes(shm.buf[:4]))\n"
+        "    shm.unlink()  # expect: F304\n"
+        "    shm.close()\n"
+        "\n"
+        "\n"
+        "def launch(segment):\n"
+        "    reader, writer = Pipe(duplex=False)\n"
+        "    cache = {}\n"
+        "    proc = Process(target=worker, args=(writer, segment, cache))\n"
+        "    proc.start()\n"
+        "    writer.send(b\"boot\")  # expect: F304\n"
+        "    return reader.recv()\n"
+    )
+    example_good = (
+        "from multiprocessing import Pipe, Process, shared_memory\n"
+        "\n"
+        "\n"
+        "def worker(results, segment):\n"
+        "    shm = shared_memory.SharedMemory(name=segment)\n"
+        "    results.send(bytes(shm.buf[:4]))\n"
+        "    shm.close()\n"
+        "\n"
+        "\n"
+        "def launch(segment):\n"
+        "    reader, writer = Pipe(duplex=False)\n"
+        "    proc = Process(target=worker, args=(writer, segment))\n"
+        "    proc.start()\n"
+        "    writer.close()\n"
+        "    payload = reader.recv()\n"
+        "    reader.close()\n"
+        "    return payload\n"
+    )
+
+    @classmethod
+    def check(cls, model: ProjectModel) -> list:
+        findings = []
+        findings.extend(cls._worker_unlinks(model))
+        findings.extend(cls._pipe_double_writers(model))
+        findings.extend(cls._fork_captured_mutations(model))
+        deduped = []
+        seen = set()
+        for finding in findings:
+            key = (finding.path, finding.line, finding.message)
+            if key not in seen:
+                seen.add(key)
+                deduped.append(finding)
+        return deduped
+
+    # -- worker-side unlink/unregister ----------------------------------
+
+    @classmethod
+    def _worker_unlinks(cls, model: ProjectModel) -> list:
+        findings = []
+        for qualname in sorted(model.topology.worker_side):
+            info = model.functions.get(qualname)
+            if info is None or not isinstance(
+                info.node, (ast.FunctionDef, ast.AsyncFunctionDef)
+            ):
+                continue
+            module = model.modules[info.module]
+            shm_vars = cls._shm_assigned_names(module, info)
+            for node in ast.walk(info.node):
+                if not (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                ):
+                    continue
+                attr = node.func.attr
+                if attr == "unregister":
+                    qual = _expanded(module, _dotted(node.func)) or ""
+                    if "resource_tracker" in qual:
+                        findings.append(
+                            _finding(
+                                cls,
+                                info,
+                                node,
+                                "worker-side resource_tracker.unregister() on "
+                                "a shared segment the supervisor owns — only "
+                                "the publishing process may unregister",
+                            )
+                        )
+                    continue
+                if attr != "unlink":
+                    continue
+                receiver = node.func.value
+                text = (_dotted(receiver) or "").lower()
+                root = text.partition(".")[0]
+                if "shm" in text or "shared" in text or root in shm_vars:
+                    findings.append(
+                        _finding(
+                            cls,
+                            info,
+                            node,
+                            "worker-side unlink of a shared-memory segment "
+                            "the supervisor owns — workers attach and close; "
+                            "only the publisher unlinks",
+                        )
+                    )
+        return findings
+
+    @staticmethod
+    def _shm_assigned_names(module, info: FunctionInfo) -> set:
+        """Names bound from a SharedMemory-ish constructor in this body."""
+        names = set()
+        for node in ast.walk(info.node):
+            if not (isinstance(node, ast.Assign) and isinstance(node.value, ast.Call)):
+                continue
+            qual = _expanded(module, _dotted(node.value.func)) or ""
+            if "SharedMemory" in qual or "shared_memory" in qual:
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        names.add(target.id.lower())
+        return names
+
+    # -- one-writer pipe discipline -------------------------------------
+
+    @classmethod
+    def _pipe_double_writers(cls, model: ProjectModel) -> list:
+        ends: list[dict] = []
+        for module in model.modules.values():
+            for info, body in model._enclosing_functions(module):
+                wrapper = ast.Module(body=list(body), type_ignores=[])
+                for node in ast.walk(wrapper):
+                    if not (
+                        isinstance(node, ast.Assign)
+                        and isinstance(node.value, ast.Call)
+                        and _dotted(node.value.func) is not None
+                        and _dotted(node.value.func).rpartition(".")[2] == "Pipe"
+                        and len(node.targets) == 1
+                        and isinstance(node.targets[0], (ast.Tuple, ast.List))
+                        and len(node.targets[0].elts) == 2
+                    ):
+                        continue
+                    duplex = True
+                    for keyword in node.value.keywords:
+                        if keyword.arg == "duplex" and isinstance(
+                            keyword.value, ast.Constant
+                        ):
+                            duplex = bool(keyword.value.value)
+                    elements = node.targets[0].elts
+                    writers = elements if duplex else [elements[1]]
+                    for element in writers:
+                        identity = cls._end_identity(module, info, element)
+                        if identity is not None:
+                            ends.append(
+                                {
+                                    "identity": identity,
+                                    "owner": "supervisor",
+                                    "module": module.name,
+                                    "created_in": info.qualname,
+                                }
+                            )
+        if not ends:
+            return []
+        by_identity = {end["identity"]: end for end in ends}
+        aliases: dict = {}  # ("param", target_qualname, param) -> end
+        for site in model.topology.spawn_sites:
+            for param, arg in site.bindings:
+                identity = cls._end_identity(
+                    model.modules[site.caller.module], site.caller, arg
+                )
+                end = by_identity.get(identity) if identity else None
+                if end is not None:
+                    end["owner"] = "worker"
+                    aliases[("param", site.target.qualname, param)] = end
+        findings = []
+        for module in model.modules.values():
+            for info, body in model._enclosing_functions(module):
+                side = (
+                    "worker"
+                    if info.qualname in model.topology.worker_side
+                    else "supervisor"
+                )
+                wrapper = ast.Module(body=list(body), type_ignores=[])
+                for node in ast.walk(wrapper):
+                    if not (
+                        isinstance(node, ast.Call)
+                        and isinstance(node.func, ast.Attribute)
+                        and node.func.attr == "send"
+                    ):
+                        continue
+                    end = cls._end_for_receiver(
+                        module, info, node.func.value, by_identity, aliases
+                    )
+                    if end is None or end["owner"] == side:
+                        continue
+                    if end["owner"] == "worker":
+                        message = (
+                            "supervisor-side send() on a pipe end handed to a "
+                            "worker at fork — a second writer on a one-writer "
+                            "pipe interleaves frames"
+                        )
+                    else:
+                        message = (
+                            "worker-side send() on a supervisor-owned pipe "
+                            "end — a second writer on a one-writer pipe "
+                            "interleaves frames"
+                        )
+                    findings.append(_finding(cls, info, node, message))
+        return findings
+
+    @staticmethod
+    def _end_identity(module, info: FunctionInfo, node: ast.AST):
+        if isinstance(node, ast.Name):
+            return ("local", info.qualname, node.id)
+        if isinstance(node, ast.Attribute) and isinstance(node.value, ast.Name):
+            return ("attr", module.name, node.attr)
+        return None
+
+    @classmethod
+    def _end_for_receiver(cls, module, info, receiver, by_identity, aliases):
+        if isinstance(receiver, ast.Name):
+            end = by_identity.get(("local", info.qualname, receiver.id))
+            if end is not None:
+                return end
+            return aliases.get(("param", info.qualname, receiver.id))
+        if isinstance(receiver, ast.Attribute) and isinstance(
+            receiver.value, ast.Name
+        ):
+            return by_identity.get(("attr", module.name, receiver.attr))
+        return None
+
+    # -- fork-captured mutables -----------------------------------------
+
+    @classmethod
+    def _fork_captured_mutations(cls, model: ProjectModel) -> list:
+        analysis = FlowAnalysis.of(model)
+        findings = []
+        for site in model.topology.spawn_sites:
+            if site.kind != "process":
+                continue
+            caller_module = model.modules[site.caller.module]
+            for param, arg in site.bindings:
+                if not isinstance(arg, ast.Name):
+                    continue
+                if not cls._is_mutable_origin(caller_module, site.caller, arg.id):
+                    continue
+                target = site.target
+                if param not in analysis.summary_for(target).mutates:
+                    continue
+                for node, message in cls._mutation_sites(model, target, param):
+                    findings.append(_finding(cls, target, node, message))
+        return findings
+
+    @staticmethod
+    def _is_mutable_origin(module, info: FunctionInfo, name: str) -> bool:
+        body = info.node if isinstance(info.node, ast.AST) else None
+        if body is None:
+            return False
+        for node in ast.walk(body):
+            if not isinstance(node, ast.Assign):
+                continue
+            for target in node.targets:
+                if not (isinstance(target, ast.Name) and target.id == name):
+                    continue
+                value = node.value
+                if isinstance(
+                    value,
+                    (ast.Dict, ast.List, ast.Set, ast.ListComp, ast.DictComp,
+                     ast.SetComp),
+                ):
+                    return True
+                if isinstance(value, ast.Call):
+                    qual = _dotted(value.func) or ""
+                    if qual.rpartition(".")[2] in _MUTABLE_FACTORIES:
+                        return True
+        return False
+
+    @classmethod
+    def _mutation_sites(cls, model: ProjectModel, info: FunctionInfo, param: str):
+        """Yield ``(node, message)`` for each place ``param`` is mutated."""
+        analysis = FlowAnalysis.of(model)
+        base = (
+            f"worker mutates {param!r}, a mutable captured at fork — the "
+            f"write is invisible to the supervisor (send results over the "
+            f"pipe instead)"
+        )
+        for node in ast.walk(info.node):
+            if isinstance(node, (ast.Assign, ast.AugAssign)):
+                targets = (
+                    node.targets if isinstance(node, ast.Assign) else [node.target]
+                )
+                for target in targets:
+                    if isinstance(target, ast.Subscript):
+                        root = target.value
+                        while isinstance(root, (ast.Attribute, ast.Subscript)):
+                            root = root.value
+                        if isinstance(root, ast.Name) and root.id == param:
+                            yield node, base
+            elif (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in MUTATOR_METHODS
+                and isinstance(node.func.value, ast.Name)
+                and node.func.value.id == param
+            ):
+                yield node, base
+        for edge in model.calls_by_caller.get(info.qualname, ()):
+            if edge.callee is None:
+                continue
+            for bound_param, expr in model.bind_arguments(edge.call, edge.callee):
+                if (
+                    isinstance(expr, ast.Name)
+                    and expr.id == param
+                    and bound_param in analysis.summary_for(edge.callee).mutates
+                ):
+                    yield edge.call, base
+
+
+FLOW_RULES = (SeedLaundering, NondetDigestInput, SharedArrayMutation, ForkBoundaryHazard)

@@ -223,7 +223,7 @@ class UnseededRandom(Rule):
         "import numpy as np\n"
         "\n"
         "\n"
-        "def drive_demo(graph, seed, metrics):\n"
+        "def drive_demo(graph, metrics):\n"
         "    source = random.choice(sorted(graph.nodes()))  # expect: D101\n"
         "    noise = np.random.rand()  # expect: D101\n"
         "    rng = random.Random()  # expect: D101\n"
@@ -560,12 +560,12 @@ class WallClock(Rule):
         "import time\n"
         "\n"
         "\n"
-        "def drive_demo(graph, seed, metrics):\n"
+        "def probe_timing(graph, metrics):\n"
         "    start = time.perf_counter()  # expect: D105\n"
         "    return {\"elapsed\": time.perf_counter() - start}  # expect: D105\n"
     )
     example_good = (
-        "def drive_demo(graph, seed, metrics):\n"
+        "def probe_timing(graph, metrics):\n"
         "    return {\"probe_depth\": metrics.summary()[\"rounds\"]}\n"
     )
 
@@ -937,11 +937,11 @@ class UndeclaredQualityColumn(Rule):
         "time, deep inside a sweep)"
     )
     example_bad = (
-        "def drive_demo(graph, seed, metrics):\n"
+        "def drive_demo(graph, metrics):\n"
         "    return {\"rounds\": 3}  # expect: P205\n"
     )
     example_good = (
-        "def drive_demo(graph, seed, metrics):\n"
+        "def drive_demo(graph, metrics):\n"
         "    return {\"tree_weight\": 3}\n"
     )
 
@@ -1120,6 +1120,11 @@ class BatchSharedMutation(Rule):
                         )
 
 
+# The F rules live in repro.lint.frules; importing them here (after every
+# helper they borrow is defined) keeps RULES the single registry the
+# engine, CLI, and fixture suite consume.
+from .frules import FLOW_RULES  # noqa: E402
+
 #: Every registered rule, id-sorted; the engine and CLI consume this.
 RULES = sorted(
     (
@@ -1136,6 +1141,7 @@ RULES = sorted(
         UnjsonScenarioParams,
         UndeclaredQualityColumn,
         BatchSharedMutation,
+        *FLOW_RULES,
     ),
     key=lambda rule: rule.id,
 )

@@ -2,7 +2,7 @@ import random
 import numpy as np
 
 
-def drive_demo(graph, seed, metrics):
+def drive_demo(graph, metrics):
     source = random.choice(sorted(graph.nodes()))  # expect: D101
     noise = np.random.rand()  # expect: D101
     rng = random.Random()  # expect: D101

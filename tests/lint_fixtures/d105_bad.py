@@ -1,6 +1,6 @@
 import time
 
 
-def drive_demo(graph, seed, metrics):
+def probe_timing(graph, metrics):
     start = time.perf_counter()  # expect: D105
     return {"elapsed": time.perf_counter() - start}  # expect: D105

@@ -1,2 +1,2 @@
-def drive_demo(graph, seed, metrics):
+def probe_timing(graph, metrics):
     return {"probe_depth": metrics.summary()["rounds"]}

@@ -1,0 +1,7 @@
+def pick_source(nodes, seed):
+    return nodes[0]
+
+
+def drive_demo(graph, seed, metrics):  # expect: F301
+    nodes = sorted(graph.nodes(), key=repr)
+    return {"probe": repr(pick_source(nodes, seed))}

@@ -1,0 +1,11 @@
+import random
+
+
+def pick_source(nodes, seed):
+    rng = random.Random(seed)
+    return nodes[rng.randrange(len(nodes))]
+
+
+def drive_demo(graph, seed, metrics):
+    nodes = sorted(graph.nodes(), key=repr)
+    return {"probe": repr(pick_source(nodes, seed))}

@@ -1,0 +1,16 @@
+import hashlib
+import json
+
+
+def dirty_tags(row):
+    return {tag for tag in row["tags"]}
+
+
+def canonical_digest(values):
+    payload = json.dumps(values, sort_keys=True)
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def resume_key(row):
+    tags = list(dirty_tags(row))
+    return canonical_digest(tags)  # expect: F302

@@ -1,0 +1,11 @@
+def scale_weights(column, factor):
+    for index in range(len(column)):
+        column[index] = column[index] * factor
+
+
+class Kernel:
+    def __init__(self, graph):
+        self._wt = graph.wt
+
+    def rescale(self, factor):
+        scale_weights(self._wt, factor)  # expect: F303

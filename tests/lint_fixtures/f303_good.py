@@ -1,0 +1,10 @@
+def scaled_copy(column, factor):
+    return [value * factor for value in column]
+
+
+class Kernel:
+    def __init__(self, graph):
+        self._wt = graph.wt
+
+    def rescale(self, factor):
+        return scaled_copy(self._wt, factor)

@@ -1,0 +1,18 @@
+from multiprocessing import Pipe, Process, shared_memory
+
+
+def worker(results, segment, cache):
+    cache["warm"] = True  # expect: F304
+    shm = shared_memory.SharedMemory(name=segment)
+    results.send(bytes(shm.buf[:4]))
+    shm.unlink()  # expect: F304
+    shm.close()
+
+
+def launch(segment):
+    reader, writer = Pipe(duplex=False)
+    cache = {}
+    proc = Process(target=worker, args=(writer, segment, cache))
+    proc.start()
+    writer.send(b"boot")  # expect: F304
+    return reader.recv()

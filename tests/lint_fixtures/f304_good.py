@@ -1,0 +1,17 @@
+from multiprocessing import Pipe, Process, shared_memory
+
+
+def worker(results, segment):
+    shm = shared_memory.SharedMemory(name=segment)
+    results.send(bytes(shm.buf[:4]))
+    shm.close()
+
+
+def launch(segment):
+    reader, writer = Pipe(duplex=False)
+    proc = Process(target=worker, args=(writer, segment))
+    proc.start()
+    writer.close()
+    payload = reader.recv()
+    reader.close()
+    return payload

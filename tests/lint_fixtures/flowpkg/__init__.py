@@ -1,0 +1,8 @@
+"""Fixture package: one planted instance of each F rule, cross-module.
+
+Every hazard here crosses a module boundary on purpose — the helpers live
+in :mod:`flowpkg.helpers`/:mod:`flowpkg.workers` and the findings anchor
+in the modules that call them, so the golden test proves the project
+model resolves relative imports and the taint pass carries summaries
+across files, not just within one.
+"""

@@ -1,0 +1,17 @@
+"""The F301 seed launderer and the F302 dirty resume key."""
+
+from .helpers import canonical_digest, pick_source
+
+
+def drive_probe(graph, seed, metrics):  # expect: F301
+    nodes = sorted(graph.nodes(), key=repr)
+    return {"probe": repr(pick_source(nodes, seed))}
+
+
+def dirty_tags(row):
+    return {tag for tag in row["tags"]}
+
+
+def resume_key(row):
+    tags = list(dirty_tags(row))
+    return canonical_digest(tags)  # expect: F302

@@ -1,0 +1,18 @@
+"""Helpers the planted flows route through; clean on their own."""
+
+import hashlib
+import json
+
+
+def pick_source(nodes, seed):
+    return nodes[0]
+
+
+def canonical_digest(values):
+    payload = json.dumps(values, sort_keys=True)
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def scale_weights(column, factor):
+    for index in range(len(column)):
+        column[index] = column[index] * factor

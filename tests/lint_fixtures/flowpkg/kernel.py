@@ -1,0 +1,11 @@
+"""The F303 shared-column mutation, routed through a helper."""
+
+from .helpers import scale_weights
+
+
+class Kernel:
+    def __init__(self, graph):
+        self._wt = graph.wt
+
+    def rescale(self, factor):
+        scale_weights(self._wt, factor)  # expect: F303

@@ -1,0 +1,14 @@
+"""The launcher: spawns the worker, then writes on the worker's pipe end."""
+
+from multiprocessing import Pipe, Process
+
+from .workers import worker
+
+
+def launch(segment):
+    reader, writer = Pipe(duplex=False)
+    cache = {}
+    proc = Process(target=worker, args=(writer, segment, cache))
+    proc.start()
+    writer.send(b"boot")  # expect: F304
+    return reader.recv()

@@ -1,0 +1,11 @@
+"""Worker-side F304 hazards: fork-captured mutation and shm unlink."""
+
+from multiprocessing import shared_memory
+
+
+def worker(results, segment, cache):
+    cache["warm"] = True  # expect: F304
+    shm = shared_memory.SharedMemory(name=segment)
+    results.send(bytes(shm.buf[:4]))
+    shm.unlink()  # expect: F304
+    shm.close()

@@ -1,2 +1,2 @@
-def drive_demo(graph, seed, metrics):
+def drive_demo(graph, metrics):
     return {"tree_weight": 3}

@@ -1,0 +1,26 @@
+"""Pragma-placement regression: decorated and split-signature defs.
+
+F301 anchors on the ``def`` line, which may sit below a decorator stack
+or above a multi-line signature.  A pragma above the first decorator,
+or trailing the closing-paren line, must reach it; this file lints
+clean.
+"""
+
+
+def trace(fn):
+    return fn
+
+
+# repro: lint-ok[F301] fixture: comment-above-decorator placement
+@trace
+def drive_decorated(graph, seed, metrics):
+    return {}
+
+
+@trace
+def drive_split(
+    graph,
+    seed,
+    metrics,
+):  # repro: lint-ok[F301] fixture: closing-paren-line placement
+    return {}

@@ -1,0 +1,19 @@
+"""Pragma-placement regression: multi-line statements.
+
+The D101 finding anchors on the first line of each call, but the pragma
+is written where the author's cursor is — the closing line, or an inner
+argument line.  Both placements must suppress; this file lints clean.
+"""
+
+import random
+
+
+def pick(options):
+    return random.choice(
+        sorted(options),
+    )  # repro: lint-ok[D101] fixture: closing-line pragma on a span
+
+def pick_inner(options):
+    return random.choice(
+        sorted(options),  # repro: lint-ok[D101] fixture: inner-line pragma
+    )

@@ -300,7 +300,7 @@ class TestCrossPins:
     def test_rule_ids_are_unique_and_well_formed(self):
         assert len(RULE_IDS) == len(set(RULE_IDS))
         for rule in RULES:
-            assert rule.id[0] in ("D", "P")
+            assert rule.id[0] in ("D", "P", "F")
             assert rule.id[1:].isdigit()
             assert rule.name and rule.summary
             assert rule.severity in ("error", "warning")
